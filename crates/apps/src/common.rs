@@ -1,0 +1,203 @@
+//! Shared helpers for the application suite: workload generation, result
+//! comparison, the global-thread-index idiom, and the per-application
+//! report used by the Table 2 / Table 3 harnesses.
+
+use g80_cuda::{CpuModel, CpuTuning, CpuWork, Timeline};
+use g80_isa::builder::KernelBuilder;
+use g80_isa::Reg;
+use g80_sim::KernelStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for workload generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A vector of uniform floats in [lo, hi).
+pub fn random_f32(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// Maximum relative error between two float slices (absolute error where the
+/// reference is tiny).
+pub fn max_rel_error(got: &[f32], want: &[f32]) -> f32 {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    got.iter()
+        .zip(want)
+        .map(|(&g, &w)| {
+            let d = (g - w).abs();
+            if w.abs() > 1e-3 {
+                d / w.abs()
+            } else {
+                d
+            }
+        })
+        .fold(0.0f32, f32::max)
+}
+
+/// RMS error normalized by the RMS of the reference — the right metric for
+/// outputs that are sums of many signed terms (MRI, TPACF), where individual
+/// elements can cancel to near zero and per-element relative error explodes.
+pub fn rms_rel_error(got: &[f32], want: &[f32]) -> f32 {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    let (mut num, mut den) = (0.0f64, 0.0f64);
+    for (&g, &w) in got.iter().zip(want) {
+        num += ((g - w) as f64).powi(2);
+        den += (w as f64).powi(2);
+    }
+    if den == 0.0 {
+        num.sqrt() as f32
+    } else {
+        (num / den).sqrt() as f32
+    }
+}
+
+/// Emits the `blockIdx.x * blockDim.x + threadIdx.x` idiom.
+pub fn global_tid_x(b: &mut KernelBuilder) -> Reg {
+    let tid = b.tid_x();
+    let ntid = b.ntid_x();
+    let cta = b.ctaid_x();
+    b.imad(cta, ntid, tid)
+}
+
+/// Per-application record backing the Table 2 / Table 3 rows.
+#[derive(Clone, Debug)]
+pub struct AppReport {
+    /// Application name as in the paper.
+    pub name: &'static str,
+    /// One-line description (Table 2).
+    pub description: &'static str,
+    /// Counters from the optimized kernel's run(s). For multi-launch apps
+    /// (time-stepped simulations) this is the aggregate of all launches.
+    pub stats: KernelStats,
+    /// Device timeline: kernel vs transfer time (Table 3).
+    pub timeline: Timeline,
+    /// Modeled single-thread CPU time for the kernel portion, tuned
+    /// (SSE2 + fast math) — the denominator of the paper's kernel speedup.
+    pub cpu_kernel_s: f64,
+    /// Fraction of single-thread CPU execution time spent in the kernel
+    /// (Table 2 column; bounds app speedup by Amdahl's law).
+    pub kernel_cpu_fraction: f64,
+    /// Max relative error of GPU output vs the CPU reference.
+    pub max_rel_error: f32,
+}
+
+impl AppReport {
+    /// Kernel-only speedup: CPU kernel time / GPU kernel time.
+    pub fn kernel_speedup(&self) -> f64 {
+        if self.timeline.kernel_s == 0.0 {
+            0.0
+        } else {
+            self.cpu_kernel_s / self.timeline.kernel_s
+        }
+    }
+
+    /// Whole-application speedup with Amdahl's law: the non-kernel fraction
+    /// stays on the CPU, and the GPU side adds transfer time.
+    pub fn app_speedup(&self) -> f64 {
+        let cpu_total = self.cpu_kernel_s / self.kernel_cpu_fraction;
+        let cpu_rest = cpu_total - self.cpu_kernel_s;
+        let gpu_total = cpu_rest + self.timeline.total_s();
+        if gpu_total == 0.0 {
+            0.0
+        } else {
+            cpu_total / gpu_total
+        }
+    }
+
+    /// Fraction of device time spent in kernels rather than transfers
+    /// (Table 3's "GPU execution time" column).
+    pub fn gpu_exec_fraction(&self) -> f64 {
+        self.timeline.gpu_fraction()
+    }
+
+    /// Models an application that invokes the kernel `iters` times on
+    /// device-resident data per host↔device transfer (iterative solvers,
+    /// streaming pipelines): kernel time on both sides scales, transfers
+    /// don't. Used where the paper's application context amortizes copies.
+    pub fn with_amortized_iterations(mut self, iters: u32) -> Self {
+        self.timeline.kernel_s *= iters as f64;
+        self.timeline.kernel_cycles *= iters as u64;
+        self.timeline.launches *= iters as u64;
+        self.cpu_kernel_s *= iters as f64;
+        self
+    }
+}
+
+/// Convenience wrapper: modeled CPU time at the paper's tuned baseline.
+pub fn cpu_time_tuned(work: &CpuWork) -> f64 {
+    CpuModel::opteron_248().time(work, CpuTuning::SimdFastMath)
+}
+
+/// Convenience wrapper: modeled CPU time for plain scalar code.
+pub fn cpu_time_scalar(work: &CpuWork) -> f64 {
+    CpuModel::opteron_248().time(work, CpuTuning::Scalar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_error_metric() {
+        assert_eq!(max_rel_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let e = max_rel_error(&[1.1], &[1.0]);
+        assert!((e - 0.1).abs() < 1e-6);
+        // Tiny references use absolute error.
+        let e = max_rel_error(&[1e-5], &[0.0]);
+        assert!(e < 1e-4);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(random_f32(7, 16, 0.0, 1.0), random_f32(7, 16, 0.0, 1.0));
+        assert_ne!(random_f32(7, 16, 0.0, 1.0), random_f32(8, 16, 0.0, 1.0));
+    }
+
+    #[test]
+    fn speedup_arithmetic() {
+        // Build a minimal KernelStats via a real trivial launch.
+        let stats_dummy;
+        {
+            use g80_isa::builder::KernelBuilder;
+            use g80_isa::Value;
+            use g80_sim::{launch, DeviceMemory, GpuConfig, LaunchDims};
+            let mut b = KernelBuilder::new("t");
+            let p = b.param();
+            b.st_global(p, 0, 1.0f32);
+            let k = b.build();
+            let mem = DeviceMemory::new(64);
+            stats_dummy = Some(
+                launch(
+                    &GpuConfig::geforce_8800_gtx(),
+                    &k,
+                    LaunchDims { grid: (1, 1), block: (32, 1, 1) },
+                    &[Value::from_u32(0)],
+                    &mem,
+                )
+                .unwrap(),
+            );
+        }
+        let rep = AppReport {
+            name: "x",
+            description: "",
+            stats: stats_dummy.unwrap(),
+            timeline: Timeline {
+                kernel_s: 1.0,
+                h2d_s: 0.5,
+                d2h_s: 0.5,
+                launches: 1,
+                kernel_cycles: 0,
+            },
+            cpu_kernel_s: 100.0,
+            kernel_cpu_fraction: 0.5,
+            max_rel_error: 0.0,
+        };
+        assert!((rep.kernel_speedup() - 100.0).abs() < 1e-9);
+        // cpu_total=200, cpu_rest=100, gpu_total=100+2=102 → 200/102
+        assert!((rep.app_speedup() - 200.0 / 102.0).abs() < 1e-9);
+        assert!((rep.gpu_exec_fraction() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! FEM — finite-element relaxation on an unstructured mesh.
+//!
+//! The suite's irregular-gather member: each node repeatedly averages with
+//! its mesh neighbours through an indirection table, so the inner loop is a
+//! pointer-chase into DRAM that no layout fully coalesces. Like LBM and
+//! FDTD it is a *time-sliced* solver (one kernel launch per relaxation
+//! sweep, paying global-memory round trips for global synchronization), and
+//! the paper files it with the memory-bandwidth-bound, ~11× kernels.
+
+use crate::common::{self, AppReport};
+use g80_cuda::{CpuModel, CpuTuning, CpuWork, Device, Timeline};
+use g80_isa::builder::{KernelBuilder, Unroll};
+use g80_isa::Kernel;
+use g80_sim::KernelStats;
+
+/// Fixed node degree (a quad mesh with diagonals has 8 neighbours).
+const DEGREE: u32 = 8;
+const TPB: u32 = 128;
+
+/// The FEM workload: `n_nodes` nodes relaxed for `sweeps` Jacobi sweeps.
+#[derive(Copy, Clone, Debug)]
+pub struct Fem {
+    pub n_nodes: u32,
+    pub sweeps: u32,
+}
+
+impl Default for Fem {
+    fn default() -> Self {
+        Fem {
+            n_nodes: 1 << 15,
+            sweeps: 8,
+        }
+    }
+}
+
+/// Mesh connectivity and initial solution.
+pub struct Mesh {
+    /// nbr[k*n_nodes + node]: neighbour indices (SoA for coalescing).
+    pub nbr: Vec<u32>,
+    /// Matching interpolation weights, normalized per node.
+    pub w: Vec<f32>,
+    /// Initial nodal values.
+    pub u0: Vec<f32>,
+}
+
+impl Fem {
+    /// Generates a random mesh: structured 2D neighbourhoods plus random
+    /// long-range edges (the "unstructured" irregularity).
+    pub fn generate(&self, seed: u64) -> Mesh {
+        use rand::Rng;
+        let mut r = common::rng(seed);
+        let n = self.n_nodes;
+        let side = (n as f64).sqrt() as u32;
+        // Edge tables in structure-of-arrays layout (nbr[k*n + i]) so the
+        // per-thread index/weight streams coalesce — the data-layout
+        // transformation the CUDA port applied.
+        let mut nbr = vec![0u32; (n * DEGREE) as usize];
+        let mut w = vec![0.0f32; (n * DEGREE) as usize];
+        for i in 0..n {
+            let mut weights = [0.0f32; DEGREE as usize];
+            let mut total = 0.0f32;
+            for wv in weights.iter_mut() {
+                *wv = r.gen_range(0.1..1.0);
+                total += *wv;
+            }
+            for (k, wv) in weights.iter().enumerate() {
+                // Six structured neighbours, two random far edges.
+                let j = match k {
+                    0 => i.wrapping_add(1) % n,
+                    1 => i.wrapping_add(n - 1) % n,
+                    2 => i.wrapping_add(side) % n,
+                    3 => i.wrapping_add(n - side) % n,
+                    4 => i.wrapping_add(side + 1) % n,
+                    5 => i.wrapping_add(n - side - 1) % n,
+                    _ => r.gen_range(0..n),
+                };
+                nbr[k * n as usize + i as usize] = j;
+                w[k * n as usize + i as usize] = wv / total * 0.5;
+            }
+        }
+        Mesh {
+            nbr,
+            w,
+            u0: common::random_f32(seed ^ 77, n as usize, 0.0, 1.0),
+        }
+    }
+
+    /// Sequential reference.
+    pub fn cpu_reference(&self, m: &Mesh) -> Vec<f32> {
+        let n = self.n_nodes as usize;
+        let mut src = m.u0.clone();
+        let mut dst = vec![0.0f32; n];
+        for _ in 0..self.sweeps {
+            for i in 0..n {
+                let mut acc = 0.5 * src[i];
+                for k in 0..DEGREE as usize {
+                    acc += m.w[k * n + i] * src[m.nbr[k * n + i] as usize];
+                }
+                dst[i] = acc;
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        src
+    }
+
+    /// CPU cost per node-sweep: 16 FLOPs and ~80 B of (mostly cached) traffic.
+    pub fn cpu_work(&self) -> CpuWork {
+        let ops = self.n_nodes as f64 * self.sweeps as f64;
+        CpuWork {
+            flops: 17.0 * ops,
+            // Index/weight streams plus partially-missing random gathers
+            // (the value array far exceeds the Opteron's 1 MB L2).
+            bytes: 150.0 * ops,
+            int_ops: 12.0 * ops,
+            ..Default::default()
+        }
+    }
+
+    /// The relaxation kernel (one node per thread).
+    pub fn kernel(&self) -> Kernel {
+        let mut b = KernelBuilder::new("fem_relax");
+        let (srcp, dstp, nbrp, wp) = (b.param(), b.param(), b.param(), b.param());
+        let i = common::global_tid_x(&mut b);
+        let byte = b.shl(i, 2u32);
+        let sa = b.iadd(byte, srcp);
+        let mine = b.ld_global(sa, 0);
+        let acc = b.fmul(mine, 0.5f32);
+        // SoA edge tables: nbr[k*n + i] — consecutive threads hit
+        // consecutive words, so the index and weight streams coalesce.
+        let na = b.iadd(byte, nbrp);
+        let wa = b.iadd(byte, wp);
+        let stride = (self.n_nodes * 4) as i32;
+        b.for_range(0u32, DEGREE, 1, Unroll::Full, |b, k| {
+            let off = k.as_imm().unwrap().as_u32() as i32 * stride;
+            let j = b.ld_global(na, off); // coalesced
+            let wv = b.ld_global(wa, off);
+            let jb = b.shl(j, 2u32);
+            let ja = b.iadd(jb, srcp);
+            let uj = b.ld_global(ja, 0); // the irregular gather
+            b.ffma_to(acc, wv, uj, acc);
+        });
+        let da = b.iadd(byte, dstp);
+        b.st_global(da, 0, acc);
+        b.build()
+    }
+
+    /// Runs `sweeps` kernel launches (ping-pong buffers).
+    pub fn run(&self, m: &Mesh) -> (Vec<f32>, KernelStats, Timeline) {
+        let n = self.n_nodes;
+        assert!(n > 0 && n % TPB == 0, "n_nodes must be a positive multiple of the block size");
+        let edges = (n * DEGREE) as usize;
+        let mut dev = Device::new(2 * n * 4 + edges as u32 * 8 + 8192);
+        let da = dev.alloc::<f32>(n as usize);
+        let db = dev.alloc::<f32>(n as usize);
+        let dn = dev.alloc::<u32>(edges);
+        let dw = dev.alloc::<f32>(edges);
+        dev.copy_to_device(&da, &m.u0);
+        dev.copy_to_device(&dn, &m.nbr);
+        dev.copy_to_device(&dw, &m.w);
+
+        let k = self.kernel();
+        let mut bufs = [&da, &db];
+        let mut agg: Option<KernelStats> = None;
+        for _ in 0..self.sweeps {
+            let stats = dev
+                .launch(
+                    &k,
+                    (n / TPB, 1),
+                    (TPB, 1, 1),
+                    &[
+                        bufs[0].as_param(),
+                        bufs[1].as_param(),
+                        dn.as_param(),
+                        dw.as_param(),
+                    ],
+                )
+                .expect("fem launch");
+            match &mut agg {
+                None => agg = Some(stats),
+                Some(a) => a.accumulate(&stats),
+            }
+            bufs.swap(0, 1);
+        }
+        let out = dev.copy_from_device(bufs[0]);
+        (out, agg.unwrap(), dev.timeline())
+    }
+
+    /// Table 2/3 record.
+    pub fn report(&self) -> AppReport {
+        let m = self.generate(59);
+        let want = self.cpu_reference(&m);
+        let (got, stats, timeline) = self.run(&m);
+        AppReport {
+            name: "FEM",
+            description: "Finite-element relaxation on an unstructured mesh",
+            stats,
+            timeline,
+            cpu_kernel_s: CpuModel::opteron_248().time(&self.cpu_work(), CpuTuning::SimdFastMath),
+            kernel_cpu_fraction: 0.99,
+            max_rel_error: common::rms_rel_error(&got, &want),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference() {
+        let f = Fem {
+            n_nodes: 4096,
+            sweeps: 4,
+        };
+        let m = f.generate(5);
+        let want = f.cpu_reference(&m);
+        let (got, _, _) = f.run(&m);
+        let err = common::rms_rel_error(&got, &want);
+        assert!(err < 1e-5, "err {err}");
+    }
+
+    #[test]
+    fn relaxation_contracts_the_field() {
+        // Jacobi averaging must shrink the value spread.
+        let f = Fem {
+            n_nodes: 4096,
+            sweeps: 8,
+        };
+        let m = f.generate(6);
+        let (got, _, _) = f.run(&m);
+        let spread = |v: &[f32]| {
+            let mx = v.iter().cloned().fold(f32::MIN, f32::max);
+            let mn = v.iter().cloned().fold(f32::MAX, f32::min);
+            mx - mn
+        };
+        assert!(spread(&got) < 0.7 * spread(&m.u0));
+    }
+
+    #[test]
+    fn gathers_are_irregular() {
+        let f = Fem {
+            n_nodes: 8192,
+            sweeps: 2,
+        };
+        let m = f.generate(7);
+        let (_, stats, _) = f.run(&m);
+        // The index/weight streams coalesce but the neighbour gathers
+        // cannot; they remain a large share and dominate the traffic.
+        let total = stats.uncoalesced_half_warps + stats.coalesced_half_warps;
+        assert!(stats.uncoalesced_half_warps * 4 > total);
+        assert!(stats.global_to_compute_ratio() > 0.5);
+    }
+
+    #[test]
+    fn report_speedup_is_memory_tier() {
+        let r = Fem {
+            n_nodes: 1 << 14,
+            sweeps: 4,
+        }
+        .report();
+        assert!(r.max_rel_error < 1e-5);
+        // Paper: 11.0x kernel.
+        let s = r.kernel_speedup();
+        assert!((3.0..40.0).contains(&s), "speedup {s}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion benches regenerating the paper's figures/tables at reduced
+//! sizes: each bench measures the *simulated-kernel* wall time on the host,
+//! while the simulated GFLOPS (the paper's metric) is printed by the
+//! `repro` binary. Together they keep both the reproduction results and the
+//! simulator's own performance under regression control.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use g80_apps::lbm::{Layout, Lbm};
+use g80_apps::matmul::{MatMul, Variant};
+use g80_bench::{matmul_study, table1};
+use g80_sim::GpuConfig;
+
+/// Figure 4: one bench per matmul configuration.
+fn bench_fig4(c: &mut Criterion) {
+    let mm = MatMul { n: 96 };
+    let (a, b) = mm.generate(42);
+    let mut group = c.benchmark_group("fig4_matmul");
+    group.sample_size(10);
+    for v in [
+        Variant::Naive,
+        Variant::Tiled { tile: 4, unroll: true },
+        Variant::Tiled { tile: 8, unroll: true },
+        Variant::Tiled { tile: 16, unroll: false },
+        Variant::Tiled { tile: 16, unroll: true },
+        Variant::Prefetch { tile: 16 },
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |bch, &v| {
+            bch.iter(|| mm.run(v, &a, &b).1.cycles)
+        });
+    }
+    group.finish();
+}
+
+/// Figure 5: one bench per LBM layout.
+fn bench_fig5(c: &mut Criterion) {
+    let l = Lbm { n: 64, steps: 2 };
+    let f0 = l.initial_state();
+    let mut group = c.benchmark_group("fig5_lbm");
+    group.sample_size(10);
+    for layout in [Layout::Aos, Layout::Soa, Layout::SoaStaged] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(layout.label()),
+            &layout,
+            |bch, &layout| bch.iter(|| l.run(&f0, layout).1.cycles),
+        );
+    }
+    group.finish();
+}
+
+/// Table 1: the memory microbenchmarks.
+fn bench_table1(c: &mut Criterion) {
+    let cfg = GpuConfig::geforce_8800_gtx();
+    let mut group = c.benchmark_group("table1_memory");
+    group.sample_size(10);
+    group.bench_function("all_rows", |b| b.iter(|| table1::run(&cfg).len()));
+    group.finish();
+}
+
+/// Section 4: the full optimization walk.
+fn bench_sec4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec4_walk");
+    group.sample_size(10);
+    group.bench_function("four_steps_n128", |b| {
+        b.iter(|| matmul_study::section4(128).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4, bench_fig5, bench_table1, bench_sec4);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches of the simulator infrastructure itself: kernel
+//! compilation (builder → passes → register allocation) and raw simulation
+//! throughput, plus the host-side CPU reference implementations for
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use g80_apps::matmul::{MatMul, Variant};
+use g80_isa::builder::{KernelBuilder, Unroll};
+use g80_isa::inst::Operand;
+use g80_isa::Value;
+use g80_sim::{launch, DeviceMemory, GpuConfig, LaunchDims};
+
+/// Compilation pipeline cost for a mid-sized kernel.
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.bench_function("matmul_tiled16_unrolled", |b| {
+        b.iter(|| {
+            MatMul { n: 256 }
+                .kernel(Variant::Tiled { tile: 16, unroll: true })
+                .regs_per_thread
+        })
+    });
+    group.bench_function("rc5_fully_unrolled", |b| {
+        b.iter(|| {
+            g80_apps::rc5::Rc5 { n_keys: 64, ..Default::default() }
+                .kernel(false)
+                .regs_per_thread
+        })
+    });
+    group.finish();
+}
+
+/// Raw simulation throughput: host nanoseconds per simulated
+/// thread-instruction on an arithmetic-dense kernel.
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut b = KernelBuilder::new("throughput");
+    let p = b.param();
+    let tid = b.tid_x();
+    let f = b.un(g80_isa::UnOp::CvtU2F, tid);
+    let acc0 = b.mov(Operand::imm_f(1.0));
+    let acc1 = b.mov(Operand::imm_f(2.0));
+    b.for_range(0u32, 128u32, 1, Unroll::Full, |b, _| {
+        b.ffma_to(acc0, f, 1.0001f32, acc0);
+        b.ffma_to(acc1, f, 0.9999f32, acc1);
+    });
+    let s = b.fadd(acc0, acc1);
+    let byte = b.shl(tid, 2u32);
+    let a = b.iadd(byte, p);
+    b.st_global(a, 0, s);
+    let k = b.build();
+
+    let cfg = GpuConfig::geforce_8800_gtx();
+    let mem = DeviceMemory::new(1 << 16);
+    let dims = LaunchDims { grid: (48, 1), block: (256, 1, 1) };
+    // thread instructions per launch: 48 blocks * 256 threads * ~260 insts
+    let thread_insts = 48u64 * 256 * 262;
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.throughput(Throughput::Elements(thread_insts));
+    group.sample_size(10);
+    group.bench_function("fma_dense_48_blocks", |bch| {
+        bch.iter(|| {
+            launch(&cfg, &k, dims, &[Value::from_u32(0)], &mem)
+                .unwrap()
+                .cycles
+        })
+    });
+    group.finish();
+}
+
+/// The host-side CPU reference (for sanity: the simulator is expected to be
+/// orders of magnitude slower than native code, that's fine).
+fn bench_cpu_reference(c: &mut Criterion) {
+    let mm = MatMul { n: 96 };
+    let (a, b) = mm.generate(42);
+    let mut group = c.benchmark_group("cpu_reference");
+    group.sample_size(10);
+    group.bench_function("matmul_n96", |bch| {
+        bch.iter(|| mm.cpu_reference(&a, &b).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_sim_throughput,
+    bench_cpu_reference
+);
+criterion_main!(benches);

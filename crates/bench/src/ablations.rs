@@ -1,0 +1,152 @@
+//! Figure 5 and the Section 5 ablation experiments: LBM access patterns,
+//! SAD texture vs global, MRI SFU vs polynomial trig, RC5 native vs
+//! emulated rotate.
+
+use g80_apps::lbm::{Layout, Lbm};
+use g80_apps::mriq::MriQ;
+use g80_apps::rc5::Rc5;
+use g80_apps::sad::SadApp;
+
+/// One bar of the Figure 5 comparison.
+#[derive(Clone, Debug)]
+pub struct Fig5Row {
+    pub label: &'static str,
+    pub coalesced_half_warps: u64,
+    pub uncoalesced_half_warps: u64,
+    pub dram_bytes: u64,
+    pub cycles: u64,
+    pub mlups: f64,
+}
+
+/// Runs the LBM layout study (Figure 5: "LBM global load access patterns").
+pub fn figure5(n: u32, steps: u32) -> Vec<Fig5Row> {
+    let l = Lbm { n, steps };
+    let f0 = l.initial_state();
+    [Layout::Aos, Layout::Soa, Layout::SoaStaged]
+        .into_iter()
+        .map(|layout| {
+            let (_, s, _) = l.run(&f0, layout);
+            Fig5Row {
+                label: layout.label(),
+                coalesced_half_warps: s.coalesced_half_warps,
+                uncoalesced_half_warps: s.uncoalesced_half_warps,
+                dram_bytes: s.global_bytes,
+                cycles: s.cycles,
+                mlups: (n as f64 * n as f64 * steps as f64) / (s.elapsed * 1e6),
+            }
+        })
+        .collect()
+}
+
+pub fn render_figure5(rows: &[Fig5Row]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 5: LBM global load/store access patterns\n");
+    s.push_str(&format!(
+        "{:<34} {:>10} {:>12} {:>12} {:>10} {:>8}\n",
+        "layout", "coalesced", "uncoalesced", "DRAM bytes", "cycles", "MLUP/s"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<34} {:>10} {:>12} {:>12} {:>10} {:>8.1}\n",
+            r.label,
+            r.coalesced_half_warps,
+            r.uncoalesced_half_warps,
+            r.dram_bytes,
+            r.cycles,
+            r.mlups
+        ));
+    }
+    s
+}
+
+/// SAD: texture vs global reference-frame reads (paper: 2.8×).
+pub fn sad_texture() -> (f64, f64, f64) {
+    let app = SadApp::default();
+    let (cur, reff) = app.generate(3);
+    let (_, g, _) = app.run(&cur, &reff, false);
+    let (_, t, _) = app.run(&cur, &reff, true);
+    let gain = g.cycles as f64 / t.cycles as f64;
+    (
+        g.elapsed * 1e3,
+        t.elapsed * 1e3,
+        gain,
+    )
+}
+
+/// MRI-Q: SFU trig vs polynomial trig on the SPs (paper: SFUs are ~30% of
+/// the speedup). Returns (sfu_ms, poly_ms, gain).
+pub fn mri_sfu() -> (f64, f64, f64) {
+    let m = MriQ {
+        n_voxels: 1 << 13,
+        n_k: 512,
+    };
+    let d = m.generate(4);
+    let (_, _, sfu, _) = m.run(&d, true);
+    let (_, _, poly, _) = m.run(&d, false);
+    (
+        sfu.elapsed * 1e3,
+        poly.elapsed * 1e3,
+        poly.cycles as f64 / sfu.cycles as f64,
+    )
+}
+
+/// RC5: emulated vs native rotate (Section 5.1's missing modulus-shift).
+/// Returns (emulated_ms, native_ms, gain).
+pub fn rc5_rotate() -> (f64, f64, f64) {
+    let r = Rc5 {
+        n_keys: 1 << 14,
+        ..Default::default()
+    };
+    let (_, emu, _) = r.run(false);
+    let (_, nat, _) = r.run(true);
+    (
+        emu.elapsed * 1e3,
+        nat.elapsed * 1e3,
+        emu.cycles as f64 / nat.cycles as f64,
+    )
+}
+
+pub fn render_ablations() -> String {
+    let mut s = String::new();
+    let (g, t, gain) = sad_texture();
+    s.push_str(&format!(
+        "SAD reference frame:   global {g:.2} ms  texture {t:.2} ms  -> {gain:.2}x (paper: 2.8x)\n"
+    ));
+    let (sfu, poly, gain) = mri_sfu();
+    s.push_str(&format!(
+        "MRI-Q trigonometry:    SFU {sfu:.2} ms  SP polynomial {poly:.2} ms  -> {gain:.2}x (paper: ~30% of speedup)\n"
+    ));
+    let (emu, nat, gain) = rc5_rotate();
+    s.push_str(&format!(
+        "RC5 modulus-shift:     emulated {emu:.2} ms  native {nat:.2} ms  -> {gain:.2}x (paper: 'several times higher')\n"
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_gradient() {
+        let rows = figure5(64, 2);
+        assert_eq!(rows.len(), 3);
+        // Coalescing improves monotonically along the layout axis.
+        assert!(rows[0].coalesced_half_warps < rows[1].coalesced_half_warps);
+        assert!(rows[1].uncoalesced_half_warps > rows[2].uncoalesced_half_warps);
+        // DRAM traffic and time follow.
+        assert!(rows[0].dram_bytes > rows[1].dram_bytes);
+        assert!(rows[1].dram_bytes > rows[2].dram_bytes);
+        assert!(rows[0].cycles > rows[2].cycles);
+    }
+
+    #[test]
+    fn ablation_gains_in_range() {
+        let (_, _, sad) = sad_texture();
+        assert!(sad > 1.3, "sad texture gain {sad}");
+        let (_, _, mri) = mri_sfu();
+        assert!(mri > 1.15, "mri sfu gain {mri}");
+        let (_, _, rc5) = rc5_rotate();
+        assert!(rc5 > 1.4, "rc5 rotate gain {rc5}");
+    }
+}

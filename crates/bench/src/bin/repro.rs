@@ -1,0 +1,120 @@
+//! The reproduction harness: `repro <experiment>` regenerates a table or
+//! figure of Ryoo et al. (PPoPP 2008) on the simulated GeForce 8800.
+
+use g80_bench::{ablations, matmul_study, suite, table1};
+use g80_sim::GpuConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment> [--small]\n\
+         experiments:\n\
+           table1      memory-space latency/bandwidth microbenchmarks\n\
+           fig3        disassemble the Figure 3 matmul kernels\n\
+           fig4        matmul tile-size / unrolling sweep\n\
+           sec4        Section 4 optimization walk + register cliff + tuner\n\
+           table2      application suite inventory\n\
+           table3      optimized application characteristics and speedups\n\
+           fig5        LBM access-pattern study\n\
+           sad-texture SAD texture-vs-global ablation\n\
+           mri-sfu     MRI-Q SFU-vs-polynomial trig ablation\n\
+           rc5-rotate  RC5 native-vs-emulated rotate ablation\n\
+           arch        architecture-shift study (8800 GTS / GTX / GT200)\n\
+           regcap      register-cap (occupancy vs spill) study\n\
+           all         everything above"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let what = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let cfg = GpuConfig::geforce_8800_gtx();
+
+    let run = |name: &str| match name {
+        "table1" => print!("{}", table1::render(&table1::run(&cfg))),
+        "fig3" => {
+            let mm = g80_apps::matmul::MatMul { n: 256 };
+            for v in [
+                g80_apps::matmul::Variant::Naive,
+                g80_apps::matmul::Variant::Tiled { tile: 16, unroll: false },
+            ] {
+                println!("{}", g80_isa::disasm::disassemble(&mm.kernel(v)));
+            }
+        }
+        "fig4" => {
+            let n = if small { 96 } else { 192 };
+            print!("{}", matmul_study::render_figure4(&matmul_study::figure4(n)));
+        }
+        "sec4" => {
+            let n = if small { 128 } else { 256 };
+            let steps = matmul_study::section4(n);
+            let cliff = matmul_study::register_cliff(n);
+            print!("{}", matmul_study::render_section4(&steps, &cliff));
+            let (label, gflops) = matmul_study::tuner_search(if small { 96 } else { 192 });
+            println!("\nAuto-tuner optimum over the config space: {label} at {gflops:.2} GFLOPS");
+            let (sl, sg, bl, bg) =
+                matmul_study::local_maximum_demo(if small { 96 } else { 192 });
+            println!(
+                "Local-maximum demo (tile-only strategy): stuck at {sl} ({sg:.2} GFLOPS) \
+                 vs global best {bl} ({bg:.2} GFLOPS) — Section 6's warning, quantified"
+            );
+        }
+        "table2" | "table3" => {
+            let scale = if small { suite::Scale::Small } else { suite::Scale::Full };
+            let mut reports = suite::run_suite(scale);
+            reports.push(suite::matmul_row(if small { 128 } else { 256 }));
+            if name == "table2" {
+                print!("{}", suite::render_table2(&reports));
+            } else {
+                print!("{}", suite::render_table3(&reports));
+                println!("\nBottleneck groups (Section 5.1):");
+                for (b, apps) in suite::bottleneck_groups(&reports) {
+                    println!("  {b}: {}", apps.join(", "));
+                }
+            }
+        }
+        "fig5" => {
+            let (n, steps) = if small { (64, 2) } else { (128, 8) };
+            print!("{}", ablations::render_figure5(&ablations::figure5(n, steps)));
+        }
+        "sad-texture" => {
+            let (g, t, gain) = ablations::sad_texture();
+            println!("SAD: global {g:.3} ms, texture {t:.3} ms -> {gain:.2}x (paper: 2.8x)");
+        }
+        "mri-sfu" => {
+            let (s, p, gain) = ablations::mri_sfu();
+            println!("MRI-Q: SFU {s:.3} ms, polynomial {p:.3} ms -> {gain:.2}x");
+        }
+        "rc5-rotate" => {
+            let (e, nv, gain) = ablations::rc5_rotate();
+            println!("RC5: emulated {e:.3} ms, native {nv:.3} ms -> {gain:.2}x");
+        }
+        "arch" => {
+            let n = if small { 96 } else { 192 };
+            print!("{}", g80_bench::arch_study::render(&g80_bench::arch_study::run(n)));
+        }
+        "regcap" => {
+            print!("{}", g80_bench::regcap_study::render(&g80_bench::regcap_study::run()));
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+        }
+    };
+
+    if what == "all" {
+        for name in [
+            "table1", "fig4", "sec4", "table2", "table3", "fig5", "sad-texture", "mri-sfu",
+            "rc5-rotate", "arch", "regcap",
+        ] {
+            println!("==================================================================");
+            println!("== {name}");
+            println!("==================================================================");
+            run(name);
+            println!();
+        }
+    } else {
+        run(what);
+    }
+}

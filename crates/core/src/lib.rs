@@ -1,0 +1,26 @@
+//! # g80-core — the optimization principles of Ryoo et al., codified
+//!
+//! The paper's primary contribution is a *methodology*: balance per-thread
+//! resources against thread count (occupancy), estimate potential throughput
+//! from the instruction mix and the memory traffic, name the bottleneck, and
+//! apply the matching transformation. This crate packages that methodology:
+//!
+//! * [`mod@occupancy`] — the resource-balancing calculator (principles 1 & 2),
+//!   reproducing the Section 4.2 register cliff (10 regs ⇒ 3 blocks, 11 ⇒ 2);
+//! * [`model`] — Section 4's potential-throughput estimation and bottleneck
+//!   classification (instruction issue vs memory bandwidth vs latency);
+//! * [`advisor`] — the principles as an executable checklist over a run's
+//!   performance counters;
+//! * [`tuner`] — exhaustive/parallel configuration sweeps and a greedy
+//!   hill-climber that exposes the "local maximums of performance" the
+//!   conclusion warns about.
+
+pub mod advisor;
+pub mod model;
+pub mod occupancy;
+pub mod tuner;
+
+pub use advisor::{advise, Hint, HintKind};
+pub use model::{estimate, Bottleneck, PerfEstimate};
+pub use occupancy::{kernel_occupancy, occupancy, LimitingResource, Occupancy};
+pub use tuner::{hill_climb, sweep, sweep_parallel, Sample, SweepResult};

@@ -1,0 +1,246 @@
+//! Configuration auto-tuning.
+//!
+//! Section 6: "it is also possible to get stuck in local maximums of
+//! performance when attempting to follow a particular optimization
+//! strategy… Better tools … that … automatically experiment with their
+//! performance effects would greatly reduce the optimization effort." This
+//! module is that tool for the simulated machine: exhaustive sweeps (in
+//! parallel over host cores) and a greedy hill-climber whose trace makes the
+//! local-maximum phenomenon observable.
+
+use g80_sim::KernelStats;
+
+/// One evaluated configuration.
+#[derive(Clone, Debug)]
+pub struct Sample<C> {
+    pub config: C,
+    pub stats: KernelStats,
+}
+
+impl<C> Sample<C> {
+    /// The tuner's figure of merit (higher is better).
+    pub fn score(&self) -> f64 {
+        self.stats.gflops()
+    }
+}
+
+/// Result of a sweep: best configuration plus the whole surface.
+#[derive(Clone, Debug)]
+pub struct SweepResult<C> {
+    /// Every sample, in input order.
+    pub samples: Vec<Sample<C>>,
+    /// Index of the best sample.
+    pub best: usize,
+}
+
+impl<C> SweepResult<C> {
+    pub fn best_sample(&self) -> &Sample<C> {
+        &self.samples[self.best]
+    }
+
+    /// Samples sorted best-first (for reports).
+    pub fn ranked(&self) -> Vec<&Sample<C>> {
+        let mut v: Vec<&Sample<C>> = self.samples.iter().collect();
+        v.sort_by(|a, b| b.score().total_cmp(&a.score()));
+        v
+    }
+}
+
+/// Evaluates every configuration sequentially.
+pub fn sweep<C: Clone>(
+    configs: &[C],
+    mut eval: impl FnMut(&C) -> KernelStats,
+) -> SweepResult<C> {
+    assert!(!configs.is_empty(), "empty configuration space");
+    let samples: Vec<Sample<C>> = configs
+        .iter()
+        .map(|c| Sample {
+            config: c.clone(),
+            stats: eval(c),
+        })
+        .collect();
+    finish(samples)
+}
+
+/// Evaluates every configuration in parallel across host threads. `eval`
+/// must be pure with respect to shared state (each call typically builds a
+/// fresh device).
+pub fn sweep_parallel<C: Clone + Send + Sync>(
+    configs: &[C],
+    eval: impl Fn(&C) -> KernelStats + Send + Sync,
+) -> SweepResult<C> {
+    assert!(!configs.is_empty(), "empty configuration space");
+    let mut samples: Vec<Option<Sample<C>>> = (0..configs.len()).map(|_| None).collect();
+    let nthreads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(configs.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let eval = &eval;
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..nthreads {
+            let next = &next;
+            handles.push(scope.spawn(move |_| {
+                let mut mine: Vec<(usize, Sample<C>)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= configs.len() {
+                        break;
+                    }
+                    mine.push((
+                        i,
+                        Sample {
+                            config: configs[i].clone(),
+                            stats: eval(&configs[i]),
+                        },
+                    ));
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            for (i, s) in h.join().expect("tuner worker panicked") {
+                samples[i] = Some(s);
+            }
+        }
+    })
+    .expect("tuner scope panicked");
+    finish(samples.into_iter().map(|s| s.unwrap()).collect())
+}
+
+fn finish<C>(samples: Vec<Sample<C>>) -> SweepResult<C> {
+    let best = samples
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.score().total_cmp(&b.score()))
+        .map(|(i, _)| i)
+        .unwrap();
+    SweepResult { samples, best }
+}
+
+/// Greedy hill-climbing from a start configuration: repeatedly move to the
+/// best-scoring neighbour until no neighbour improves. Returns the path
+/// taken — comparing its endpoint against an exhaustive sweep's optimum
+/// demonstrates the paper's local-maximum warning.
+pub fn hill_climb<C: Clone + PartialEq>(
+    start: C,
+    neighbours: impl Fn(&C) -> Vec<C>,
+    mut eval: impl FnMut(&C) -> KernelStats,
+) -> Vec<Sample<C>> {
+    let mut path = vec![Sample {
+        config: start.clone(),
+        stats: eval(&start),
+    }];
+    loop {
+        let current = path.last().unwrap();
+        let mut best: Option<Sample<C>> = None;
+        for n in neighbours(&current.config) {
+            if path.iter().any(|s| s.config == n) {
+                continue; // don't revisit
+            }
+            let s = Sample {
+                stats: eval(&n),
+                config: n,
+            };
+            if best.as_ref().is_none_or(|b| s.score() > b.score()) {
+                best = Some(s);
+            }
+        }
+        match best {
+            Some(b) if b.score() > path.last().unwrap().score() => path.push(b),
+            _ => return path,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g80_isa::builder::KernelBuilder;
+    use g80_isa::Value;
+    use g80_sim::{launch, DeviceMemory, GpuConfig, LaunchDims};
+
+    /// Streaming kernel whose performance depends on block size (occupancy).
+    fn eval_block_size(threads: u32) -> KernelStats {
+        let mut b = KernelBuilder::new("bs");
+        let p = b.param();
+        let tid = b.tid_x();
+        let ntid = b.ntid_x();
+        let cta = b.ctaid_x();
+        let i = b.imad(cta, ntid, tid);
+        let byte = b.shl(i, 2u32);
+        let a = b.iadd(byte, p);
+        let v = b.ld_global(a, 0);
+        let acc = b.fmul(v, 2.0f32);
+        b.st_global(a, 0, acc);
+        let k = b.build();
+        let mem = DeviceMemory::new(1 << 20);
+        let total = 1u32 << 18;
+        launch(
+            &GpuConfig::geforce_8800_gtx(),
+            &k,
+            LaunchDims {
+                grid: (total / threads, 1),
+                block: (threads, 1, 1),
+            },
+            &[Value::from_u32(0)],
+            &mem,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_finds_a_best_config() {
+        let configs = [32u32, 64, 128, 256];
+        let r = sweep(&configs, |&c| eval_block_size(c));
+        assert_eq!(r.samples.len(), 4);
+        let best = r.best_sample();
+        for s in &r.samples {
+            assert!(best.score() >= s.score());
+        }
+        let ranked = r.ranked();
+        assert!(ranked[0].score() >= ranked.last().unwrap().score());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let configs = [32u32, 64, 128, 256];
+        let seq = sweep(&configs, |&c| eval_block_size(c));
+        let par = sweep_parallel(&configs, |&c| eval_block_size(c));
+        for (a, b) in seq.samples.iter().zip(&par.samples) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.stats.cycles, b.stats.cycles); // determinism
+        }
+        assert_eq!(seq.best, par.best);
+    }
+
+    #[test]
+    fn hill_climb_terminates_at_a_maximum() {
+        let path = hill_climb(
+            32u32,
+            |&c| {
+                let mut n = Vec::new();
+                if c > 32 {
+                    n.push(c / 2);
+                }
+                if c < 256 {
+                    n.push(c * 2);
+                }
+                n
+            },
+            |&c| eval_block_size(c),
+        );
+        assert!(!path.is_empty());
+        // Scores along the path strictly improve.
+        for w in path.windows(2) {
+            assert!(w[1].score() > w[0].score());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty configuration space")]
+    fn empty_sweep_panics() {
+        let _ = sweep::<u32>(&[], |_| unreachable!());
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests over the occupancy calculator (the DESIGN.md §7
+//! invariants): occupancy is monotone non-increasing in per-thread register
+//! demand and per-block shared memory, never exceeds 100%, and always agrees
+//! with the simulator's launch-time block scheduler.
+
+use g80_core::occupancy;
+use g80_sim::GpuConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// More registers per thread can never increase residency.
+    #[test]
+    fn monotone_in_registers(
+        regs in 1u32..64,
+        smem in 0u32..16_384,
+        tpb in 1u32..=512,
+    ) {
+        let cfg = GpuConfig::geforce_8800_gtx();
+        let a = occupancy(&cfg, regs, smem, tpb);
+        let b = occupancy(&cfg, regs + 1, smem, tpb);
+        prop_assert!(b.blocks_per_sm <= a.blocks_per_sm);
+        prop_assert!(b.occupancy <= a.occupancy + 1e-12);
+    }
+
+    /// More shared memory per block can never increase residency.
+    #[test]
+    fn monotone_in_shared_memory(
+        regs in 1u32..64,
+        smem in 0u32..15_872,
+        tpb in 1u32..=512,
+    ) {
+        let cfg = GpuConfig::geforce_8800_gtx();
+        let a = occupancy(&cfg, regs, smem, tpb);
+        let b = occupancy(&cfg, regs, smem + 512, tpb);
+        prop_assert!(b.blocks_per_sm <= a.blocks_per_sm);
+    }
+
+    /// Occupancy is bounded by 100% for every configuration (the warp
+    /// context limit holds even for partial warps), and resident resources
+    /// never exceed the SM's capacity.
+    #[test]
+    fn never_exceeds_machine_capacity(
+        regs in 1u32..64,
+        smem in 0u32..20_000,
+        tpb in 1u32..600,
+    ) {
+        let cfg = GpuConfig::geforce_8800_gtx();
+        let o = occupancy(&cfg, regs, smem, tpb);
+        prop_assert!(o.occupancy <= 1.0 + 1e-12, "occupancy {}", o.occupancy);
+        prop_assert!(o.threads_per_sm <= cfg.max_threads_per_sm);
+        prop_assert!(o.warps_per_sm <= cfg.max_warps_per_sm());
+        prop_assert!(o.blocks_per_sm * regs * tpb.max(1) <= cfg.registers_per_sm || o.blocks_per_sm == 0);
+        prop_assert!(o.blocks_per_sm * smem <= cfg.smem_per_sm || o.blocks_per_sm == 0);
+        prop_assert!(o.blocks_per_sm <= cfg.max_blocks_per_sm);
+    }
+
+    /// The calculator and the simulator's launch-time scheduler never
+    /// disagree, across all three machine presets.
+    #[test]
+    fn agrees_with_every_machine_preset(
+        regs in 1u32..64,
+        smem in 0u32..16_384,
+        tpb in 1u32..=512,
+        which in 0u8..3,
+    ) {
+        let cfg = match which {
+            0 => GpuConfig::geforce_8800_gtx(),
+            1 => GpuConfig::geforce_8800_gts(),
+            _ => GpuConfig::gtx280_like(),
+        };
+        let o = occupancy(&cfg, regs, smem, tpb);
+        prop_assert_eq!(o.blocks_per_sm, cfg.blocks_per_sm(regs, smem, tpb));
+    }
+}

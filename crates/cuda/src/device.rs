@@ -1,0 +1,328 @@
+//! The host-side runtime: device memory management, transfers, launches, and
+//! the execution timeline that Table 3's "GPU execution time vs CPU–GPU
+//! transfer time" columns come from.
+
+use crate::transfer::PcieModel;
+use g80_isa::{Kernel, Operand, Value};
+use g80_sim::{launch, DeviceMemory, GpuConfig, KernelStats, LaunchDims};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+/// Types that can live in device memory (32-bit words, like the register
+/// file).
+pub trait Word32: Copy {
+    fn to_bits(self) -> u32;
+    fn from_bits(bits: u32) -> Self;
+}
+
+impl Word32 for f32 {
+    fn to_bits(self) -> u32 {
+        self.to_bits()
+    }
+    fn from_bits(bits: u32) -> Self {
+        f32::from_bits(bits)
+    }
+}
+
+impl Word32 for u32 {
+    fn to_bits(self) -> u32 {
+        self
+    }
+    fn from_bits(bits: u32) -> Self {
+        bits
+    }
+}
+
+impl Word32 for i32 {
+    fn to_bits(self) -> u32 {
+        self as u32
+    }
+    fn from_bits(bits: u32) -> Self {
+        bits as i32
+    }
+}
+
+/// A typed allocation in device global memory.
+pub struct DeviceBuffer<T: Word32> {
+    byte_addr: u32,
+    len: u32,
+    _t: PhantomData<T>,
+}
+
+impl<T: Word32> DeviceBuffer<T> {
+    /// Device byte address of the first element.
+    pub fn addr(&self) -> u32 {
+        self.byte_addr
+    }
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+    /// True if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+    /// The buffer's base address as a kernel parameter value.
+    pub fn as_param(&self) -> Value {
+        Value::from_u32(self.byte_addr)
+    }
+    /// The buffer's base address as an instruction operand.
+    pub fn as_operand(&self) -> Operand {
+        Operand::imm_u(self.byte_addr)
+    }
+}
+
+/// Wall-clock accounting of everything the "application" did on the device.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// Seconds spent in kernels (simulated GPU time).
+    pub kernel_s: f64,
+    /// Seconds spent copying host-to-device.
+    pub h2d_s: f64,
+    /// Seconds spent copying device-to-host.
+    pub d2h_s: f64,
+    /// Kernel launches performed.
+    pub launches: u64,
+    /// Total simulated GPU cycles.
+    pub kernel_cycles: u64,
+}
+
+impl Timeline {
+    /// Total device-side time (kernels + transfers).
+    pub fn total_s(&self) -> f64 {
+        self.kernel_s + self.h2d_s + self.d2h_s
+    }
+    /// Fraction of device time spent in kernels (Table 3's "GPU execution
+    /// time" column).
+    pub fn gpu_fraction(&self) -> f64 {
+        let t = self.total_s();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.kernel_s / t
+        }
+    }
+    /// Transfer seconds (both directions).
+    pub fn transfer_s(&self) -> f64 {
+        self.h2d_s + self.d2h_s
+    }
+}
+
+/// A simulated GPU with its memory, PCIe link, and timeline.
+pub struct Device {
+    cfg: GpuConfig,
+    mem: DeviceMemory,
+    pcie: PcieModel,
+    next_free: u32,
+    timeline: RefCell<Timeline>,
+}
+
+impl Device {
+    /// Creates a device with the default G80 configuration and `bytes` of
+    /// global memory (the real card had 768 MB; simulations size to fit).
+    pub fn new(bytes: u32) -> Self {
+        Device::with_config(GpuConfig::geforce_8800_gtx(), bytes)
+    }
+
+    /// Creates a device with a custom machine configuration.
+    pub fn with_config(cfg: GpuConfig, bytes: u32) -> Self {
+        Device {
+            cfg,
+            mem: DeviceMemory::new(bytes),
+            pcie: PcieModel::default(),
+            next_free: 0,
+            timeline: RefCell::new(Timeline::default()),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Direct access to device memory (tests, texture setup).
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Allocates `len` elements of device memory (256-byte aligned, like
+    /// cudaMalloc).
+    pub fn alloc<T: Word32>(&mut self, len: usize) -> DeviceBuffer<T> {
+        let bytes = (len as u32) * 4;
+        let addr = self.next_free;
+        let end = addr + bytes;
+        assert!(
+            end <= self.mem.len_bytes(),
+            "device out of memory: want {} B at {}, have {} B",
+            bytes,
+            addr,
+            self.mem.len_bytes()
+        );
+        self.next_free = end.div_ceil(256) * 256;
+        DeviceBuffer {
+            byte_addr: addr,
+            len: len as u32,
+            _t: PhantomData,
+        }
+    }
+
+    /// Copies host data to a device buffer (cudaMemcpyHostToDevice),
+    /// charging PCIe time.
+    pub fn copy_to_device<T: Word32>(&self, buf: &DeviceBuffer<T>, data: &[T]) {
+        assert!(data.len() <= buf.len(), "h2d copy larger than buffer");
+        for (i, v) in data.iter().enumerate() {
+            self.mem
+                .write(buf.byte_addr + (i as u32) * 4, Value(v.to_bits()));
+        }
+        self.timeline.borrow_mut().h2d_s += self.pcie.transfer_time(data.len() as u64 * 4);
+    }
+
+    /// Copies a device buffer back to the host (cudaMemcpyDeviceToHost),
+    /// charging PCIe time.
+    pub fn copy_from_device<T: Word32>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        let mut out = Vec::with_capacity(buf.len());
+        for i in 0..buf.len {
+            out.push(T::from_bits(self.mem.read(buf.byte_addr + i * 4).0));
+        }
+        self.timeline.borrow_mut().d2h_s += self.pcie.transfer_time(buf.len as u64 * 4);
+        out
+    }
+
+    /// Uploads the constant bank (cudaMemcpyToSymbol).
+    pub fn set_const<T: Word32>(&mut self, data: &[T]) {
+        assert!(
+            data.len() * 4 <= self.cfg.const_mem_bytes as usize,
+            "constant bank overflow"
+        );
+        self.mem.const_bank = data.iter().map(|v| v.to_bits()).collect();
+        self.timeline.borrow_mut().h2d_s += self.pcie.transfer_time(data.len() as u64 * 4);
+    }
+
+    /// Binds a buffer as the 1D texture (cudaBindTexture).
+    pub fn bind_texture<T: Word32>(&mut self, buf: &DeviceBuffer<T>) {
+        self.mem.tex_binding = Some((buf.byte_addr, buf.len * 4));
+    }
+
+    /// Launches a kernel and blocks until completion, accumulating kernel
+    /// time on the timeline.
+    pub fn launch(
+        &self,
+        kernel: &Kernel,
+        grid: (u32, u32),
+        block: (u32, u32, u32),
+        params: &[Value],
+    ) -> Result<KernelStats, g80_sim::LaunchError> {
+        let stats = launch(
+            &self.cfg,
+            kernel,
+            LaunchDims { grid, block },
+            params,
+            &self.mem,
+        )?;
+        let mut t = self.timeline.borrow_mut();
+        t.kernel_s += stats.elapsed;
+        t.kernel_cycles += stats.cycles;
+        t.launches += 1;
+        Ok(stats)
+    }
+
+    /// The accumulated execution timeline.
+    pub fn timeline(&self) -> Timeline {
+        self.timeline.borrow().clone()
+    }
+
+    /// Resets the timeline (between experiments).
+    pub fn reset_timeline(&self) {
+        *self.timeline.borrow_mut() = Timeline::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g80_isa::builder::KernelBuilder;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut d = Device::new(1 << 16);
+        let a = d.alloc::<f32>(10);
+        let b = d.alloc::<f32>(100);
+        assert_eq!(a.addr() % 256, 0);
+        assert_eq!(b.addr() % 256, 0);
+        assert!(b.addr() >= a.addr() + 40);
+        assert_eq!(a.len(), 10);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn oom_panics() {
+        let mut d = Device::new(1024);
+        let _ = d.alloc::<f32>(1000);
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let mut d = Device::new(4096);
+        let buf = d.alloc::<f32>(16);
+        let data: Vec<f32> = (0..16).map(|i| i as f32 * 0.5).collect();
+        d.copy_to_device(&buf, &data);
+        assert_eq!(d.copy_from_device(&buf), data);
+
+        let ibuf = d.alloc::<i32>(4);
+        d.copy_to_device(&ibuf, &[-1, 2, -3, 4]);
+        assert_eq!(d.copy_from_device(&ibuf), vec![-1, 2, -3, 4]);
+    }
+
+    #[test]
+    fn timeline_accumulates() {
+        let mut d = Device::new(1 << 16);
+        let buf = d.alloc::<f32>(1024);
+        d.copy_to_device(&buf, &vec![1.0f32; 1024]);
+
+        let mut b = KernelBuilder::new("scale");
+        let p = b.param();
+        let tid = b.tid_x();
+        let ntid = b.ntid_x();
+        let cta = b.ctaid_x();
+        let i = b.imad(cta, ntid, tid);
+        let byte = b.shl(i, 2u32);
+        let a = b.iadd(byte, p);
+        let v = b.ld_global(a, 0);
+        let w = b.fmul(v, 3.0f32);
+        b.st_global(a, 0, w);
+        let k = b.build();
+
+        let stats = d.launch(&k, (4, 1), (256, 1, 1), &[buf.as_param()]).unwrap();
+        assert!(stats.cycles > 0);
+        let out = d.copy_from_device(&buf);
+        assert!(out.iter().all(|&x| x == 3.0));
+
+        let t = d.timeline();
+        assert_eq!(t.launches, 1);
+        assert!(t.kernel_s > 0.0);
+        assert!(t.h2d_s > 0.0);
+        assert!(t.d2h_s > 0.0);
+        assert!(t.gpu_fraction() > 0.0 && t.gpu_fraction() < 1.0);
+
+        d.reset_timeline();
+        assert_eq!(d.timeline().launches, 0);
+    }
+
+    #[test]
+    fn const_upload_and_texture_binding() {
+        let mut d = Device::new(4096);
+        d.set_const(&[1.0f32, 2.0, 3.0]);
+        assert_eq!(d.memory().read_const(4).as_f32(), 2.0);
+        let buf = d.alloc::<f32>(8);
+        d.bind_texture(&buf);
+        assert_eq!(d.memory().tex_binding, Some((buf.addr(), 32)));
+    }
+
+    #[test]
+    #[should_panic(expected = "constant bank overflow")]
+    fn const_overflow_panics() {
+        let mut d = Device::new(64);
+        d.set_const(&vec![0u32; 20000]);
+    }
+}

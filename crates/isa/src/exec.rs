@@ -1,0 +1,242 @@
+//! Pure functional semantics of the arithmetic instructions.
+//!
+//! Shared by the constant-folding pass and the simulator's lane execution so
+//! that "what the optimizer proves" and "what the machine computes" can never
+//! disagree.
+
+use crate::inst::{AluOp, CmpOp, Scalar, SfuOp, UnOp};
+use crate::Value;
+
+/// Evaluates a two-source ALU operation.
+pub fn eval_alu(op: AluOp, a: Value, b: Value) -> Value {
+    match op {
+        AluOp::FAdd => Value::from_f32(a.as_f32() + b.as_f32()),
+        AluOp::FSub => Value::from_f32(a.as_f32() - b.as_f32()),
+        AluOp::FMul => Value::from_f32(a.as_f32() * b.as_f32()),
+        AluOp::FMin => Value::from_f32(a.as_f32().min(b.as_f32())),
+        AluOp::FMax => Value::from_f32(a.as_f32().max(b.as_f32())),
+        AluOp::IAdd => Value::from_u32(a.as_u32().wrapping_add(b.as_u32())),
+        AluOp::ISub => Value::from_u32(a.as_u32().wrapping_sub(b.as_u32())),
+        AluOp::IMul => Value::from_u32(a.as_u32().wrapping_mul(b.as_u32())),
+        AluOp::UMin => Value::from_u32(a.as_u32().min(b.as_u32())),
+        AluOp::UMax => Value::from_u32(a.as_u32().max(b.as_u32())),
+        AluOp::IMin => Value::from_i32(a.as_i32().min(b.as_i32())),
+        AluOp::IMax => Value::from_i32(a.as_i32().max(b.as_i32())),
+        AluOp::And => Value::from_u32(a.as_u32() & b.as_u32()),
+        AluOp::Or => Value::from_u32(a.as_u32() | b.as_u32()),
+        AluOp::Xor => Value::from_u32(a.as_u32() ^ b.as_u32()),
+        AluOp::Shl => Value::from_u32(a.as_u32().wrapping_shl(b.as_u32() & 31)),
+        AluOp::ShrU => Value::from_u32(a.as_u32().wrapping_shr(b.as_u32() & 31)),
+        AluOp::ShrS => Value::from_i32(a.as_i32().wrapping_shr(b.as_u32() & 31)),
+        AluOp::Rotl => Value::from_u32(a.as_u32().rotate_left(b.as_u32() & 31)),
+    }
+}
+
+/// Evaluates a one-source operation.
+pub fn eval_un(op: UnOp, a: Value) -> Value {
+    match op {
+        UnOp::Mov => a,
+        UnOp::FNeg => Value::from_f32(-a.as_f32()),
+        UnOp::FAbs => Value::from_f32(a.as_f32().abs()),
+        UnOp::Not => Value::from_u32(!a.as_u32()),
+        UnOp::CvtF2I => Value::from_i32(a.as_f32() as i32),
+        UnOp::CvtI2F => Value::from_f32(a.as_i32() as f32),
+        UnOp::CvtF2U => Value::from_u32(a.as_f32() as u32),
+        UnOp::CvtU2F => Value::from_f32(a.as_u32() as f32),
+        UnOp::FFloor => Value::from_f32(a.as_f32().floor()),
+    }
+}
+
+/// Evaluates a fused multiply-add: `a * b + c` (f32).
+///
+/// The G80 multiply-add truncated the intermediate product rather than fusing
+/// with infinite precision; we use the host's separate multiply-then-add,
+/// which matches that behaviour more closely than `f32::mul_add`.
+pub fn eval_ffma(a: Value, b: Value, c: Value) -> Value {
+    Value::from_f32(a.as_f32() * b.as_f32() + c.as_f32())
+}
+
+/// Evaluates an integer multiply-add: `a * b + c` (wrapping).
+pub fn eval_imad(a: Value, b: Value, c: Value) -> Value {
+    Value::from_u32(a.as_u32().wrapping_mul(b.as_u32()).wrapping_add(c.as_u32()))
+}
+
+/// Evaluates an SFU transcendental.
+///
+/// The hardware SFUs deliver ~22-23 good mantissa bits; host `f32` math is a
+/// strictly more accurate stand-in, which is fine for the performance study
+/// (tests compare against references with an FP tolerance).
+pub fn eval_sfu(op: SfuOp, a: Value) -> Value {
+    let x = a.as_f32();
+    let r = match op {
+        SfuOp::Rcp => 1.0 / x,
+        SfuOp::Rsqrt => 1.0 / x.sqrt(),
+        SfuOp::Sqrt => x.sqrt(),
+        SfuOp::Sin => x.sin(),
+        SfuOp::Cos => x.cos(),
+        SfuOp::Ex2 => x.exp2(),
+        SfuOp::Lg2 => x.log2(),
+    };
+    Value::from_f32(r)
+}
+
+/// Evaluates a comparison, returning the 1/0 predicate value.
+pub fn eval_cmp(op: CmpOp, ty: Scalar, a: Value, b: Value) -> Value {
+    let t = match ty {
+        Scalar::F32 => {
+            let (x, y) = (a.as_f32(), b.as_f32());
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+        Scalar::U32 => {
+            let (x, y) = (a.as_u32(), b.as_u32());
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+        Scalar::I32 => {
+            let (x, y) = (a.as_i32(), b.as_i32());
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+    };
+    Value::from_bool(t)
+}
+
+/// Applies an atomic op, returning (new_value, old_value).
+pub fn eval_atom(op: crate::inst::AtomOp, old: Value, src: Value) -> (Value, Value) {
+    use crate::inst::AtomOp;
+    let new = match op {
+        AtomOp::Add => Value::from_u32(old.as_u32().wrapping_add(src.as_u32())),
+        AtomOp::Min => Value::from_u32(old.as_u32().min(src.as_u32())),
+        AtomOp::Max => Value::from_u32(old.as_u32().max(src.as_u32())),
+        AtomOp::Exch => src,
+    };
+    (new, old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: f32) -> Value {
+        Value::from_f32(v)
+    }
+    fn u(v: u32) -> Value {
+        Value::from_u32(v)
+    }
+    fn i(v: i32) -> Value {
+        Value::from_i32(v)
+    }
+
+    #[test]
+    fn float_alu() {
+        assert_eq!(eval_alu(AluOp::FAdd, f(1.5), f(2.0)).as_f32(), 3.5);
+        assert_eq!(eval_alu(AluOp::FSub, f(1.0), f(3.0)).as_f32(), -2.0);
+        assert_eq!(eval_alu(AluOp::FMul, f(-2.0), f(4.0)).as_f32(), -8.0);
+        assert_eq!(eval_alu(AluOp::FMin, f(-2.0), f(4.0)).as_f32(), -2.0);
+        assert_eq!(eval_alu(AluOp::FMax, f(-2.0), f(4.0)).as_f32(), 4.0);
+    }
+
+    #[test]
+    fn int_alu_wraps() {
+        assert_eq!(eval_alu(AluOp::IAdd, u(u32::MAX), u(1)).as_u32(), 0);
+        assert_eq!(eval_alu(AluOp::ISub, u(0), u(1)).as_u32(), u32::MAX);
+        assert_eq!(
+            eval_alu(AluOp::IMul, u(0x10000), u(0x10000)).as_u32(),
+            0 // low 32 bits
+        );
+    }
+
+    #[test]
+    fn signed_vs_unsigned_minmax() {
+        assert_eq!(eval_alu(AluOp::IMin, i(-5), i(3)).as_i32(), -5);
+        assert_eq!(eval_alu(AluOp::UMin, i(-5), i(3)).as_u32(), 3); // -5 is huge unsigned
+        assert_eq!(eval_alu(AluOp::IMax, i(-5), i(3)).as_i32(), 3);
+        assert_eq!(eval_alu(AluOp::UMax, i(-5), i(3)).as_i32(), -5);
+    }
+
+    #[test]
+    fn shifts_mask_count() {
+        assert_eq!(eval_alu(AluOp::Shl, u(1), u(33)).as_u32(), 2); // 33 & 31 == 1
+        assert_eq!(eval_alu(AluOp::ShrU, u(0x8000_0000), u(31)).as_u32(), 1);
+        assert_eq!(eval_alu(AluOp::ShrS, i(-8), u(2)).as_i32(), -2);
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(eval_un(UnOp::FNeg, f(2.0)).as_f32(), -2.0);
+        assert_eq!(eval_un(UnOp::FAbs, f(-2.0)).as_f32(), 2.0);
+        assert_eq!(eval_un(UnOp::Not, u(0)).as_u32(), u32::MAX);
+        assert_eq!(eval_un(UnOp::CvtF2I, f(-3.7)).as_i32(), -3);
+        assert_eq!(eval_un(UnOp::CvtI2F, i(-3)).as_f32(), -3.0);
+        assert_eq!(eval_un(UnOp::CvtF2U, f(3.7)).as_u32(), 3);
+        assert_eq!(eval_un(UnOp::CvtU2F, u(7)).as_f32(), 7.0);
+        assert_eq!(eval_un(UnOp::FFloor, f(3.7)).as_f32(), 3.0);
+        assert_eq!(eval_un(UnOp::FFloor, f(-3.2)).as_f32(), -4.0);
+    }
+
+    #[test]
+    fn fma_is_mul_then_add() {
+        // 2*3+4
+        assert_eq!(eval_ffma(f(2.0), f(3.0), f(4.0)).as_f32(), 10.0);
+        assert_eq!(eval_imad(u(5), u(7), u(1)).as_u32(), 36);
+    }
+
+    #[test]
+    fn sfu_accuracy() {
+        assert!((eval_sfu(SfuOp::Rsqrt, f(4.0)).as_f32() - 0.5).abs() < 1e-6);
+        assert!((eval_sfu(SfuOp::Rcp, f(8.0)).as_f32() - 0.125).abs() < 1e-6);
+        assert!(
+            (eval_sfu(SfuOp::Sin, f(std::f32::consts::FRAC_PI_2)).as_f32() - 1.0).abs() < 1e-6
+        );
+        assert!((eval_sfu(SfuOp::Cos, f(0.0)).as_f32() - 1.0).abs() < 1e-6);
+        assert_eq!(eval_sfu(SfuOp::Ex2, f(3.0)).as_f32(), 8.0);
+        assert_eq!(eval_sfu(SfuOp::Lg2, f(8.0)).as_f32(), 3.0);
+        assert_eq!(eval_sfu(SfuOp::Sqrt, f(9.0)).as_f32(), 3.0);
+    }
+
+    #[test]
+    fn comparisons_respect_type() {
+        use CmpOp::*;
+        assert!(eval_cmp(Lt, Scalar::I32, i(-1), i(0)).as_bool());
+        assert!(!eval_cmp(Lt, Scalar::U32, i(-1), i(0)).as_bool()); // -1 = u32::MAX
+        assert!(eval_cmp(Ge, Scalar::F32, f(2.0), f(2.0)).as_bool());
+        assert!(!eval_cmp(Ne, Scalar::F32, f(2.0), f(2.0)).as_bool());
+        // NaN compares false for everything except Ne.
+        let nan = f(f32::NAN);
+        assert!(!eval_cmp(Eq, Scalar::F32, nan, nan).as_bool());
+        assert!(eval_cmp(Ne, Scalar::F32, nan, nan).as_bool());
+        assert!(!eval_cmp(Le, Scalar::F32, nan, f(0.0)).as_bool());
+    }
+
+    #[test]
+    fn atomics() {
+        use crate::inst::AtomOp;
+        let (new, old) = eval_atom(AtomOp::Add, u(10), u(5));
+        assert_eq!((new.as_u32(), old.as_u32()), (15, 10));
+        let (new, _) = eval_atom(AtomOp::Min, u(10), u(5));
+        assert_eq!(new.as_u32(), 5);
+        let (new, _) = eval_atom(AtomOp::Max, u(10), u(5));
+        assert_eq!(new.as_u32(), 10);
+        let (new, old) = eval_atom(AtomOp::Exch, u(10), u(5));
+        assert_eq!((new.as_u32(), old.as_u32()), (5, 10));
+    }
+}

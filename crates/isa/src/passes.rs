@@ -1,0 +1,671 @@
+//! Classical optimizer passes.
+//!
+//! Section 4.3 of the paper applies "common subexpression elimination and
+//! loop unrolling … removing all loop branches, induction variable
+//! increments, and inner loop address calculation instructions, since the
+//! offsets are now constants". Loop unrolling happens in the builder (the
+//! `#pragma unroll` analogue); this module supplies the rest:
+//!
+//! * **Local value numbering** per basic block: constant folding, copy &
+//!   constant propagation, integer algebraic simplification / strength
+//!   reduction, common-subexpression elimination, and folding of
+//!   `base + const` address arithmetic into load/store offsets.
+//! * **Global dead-code elimination** over the CFG using liveness.
+//!
+//! Floating-point identities (`x + 0.0`, `x * 1.0`) are deliberately *not*
+//! simplified: they are not bit-exact under IEEE 754 (−0.0, NaN payloads)
+//! and the pass pipeline must preserve semantics exactly.
+
+#![allow(clippy::needless_range_loop)] // position-indexed rewriting
+
+use crate::exec;
+use crate::inst::{AluOp, Inst, Label, Operand, Reg, UnOp};
+use crate::liveness::{build_cfg, liveness};
+use crate::Value;
+use std::collections::HashMap;
+
+/// Optimization levels.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum OptLevel {
+    /// No optimization: code exactly as built.
+    O0,
+    /// Folding, propagation, offset folding, DCE.
+    O1,
+    /// O1 plus common-subexpression elimination.
+    O2,
+}
+
+/// Runs the pass pipeline at the given level, to a fixpoint (bounded).
+pub fn run(opt: OptLevel, code: &mut Vec<Inst>) {
+    if opt == OptLevel::O0 {
+        return;
+    }
+    let cse = opt >= OptLevel::O2;
+    for _ in 0..4 {
+        let before = code.clone();
+        local_value_numbering(code, cse);
+        dead_code_elimination(code);
+        if *code == before {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Local value numbering
+// ---------------------------------------------------------------------------
+
+/// CSE key for pure instructions, over *resolved* operands.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum ExprKey {
+    Alu(AluOp, Operand, Operand),
+    Ffma(Operand, Operand, Operand),
+    Imad(Operand, Operand, Operand),
+    Un(UnOp, Operand),
+    Sfu(crate::inst::SfuOp, Operand),
+    SetP(crate::inst::CmpOp, crate::inst::Scalar, Operand, Operand),
+    Sel(Operand, Operand, Operand),
+}
+
+impl ExprKey {
+    fn mentions(&self, r: Reg) -> bool {
+        let m = |o: &Operand| matches!(o, Operand::Reg(x) if *x == r);
+        match self {
+            ExprKey::Alu(_, a, b) | ExprKey::SetP(_, _, a, b) => m(a) || m(b),
+            ExprKey::Ffma(a, b, c) | ExprKey::Imad(a, b, c) | ExprKey::Sel(a, b, c) => {
+                m(a) || m(b) || m(c)
+            }
+            ExprKey::Un(_, a) | ExprKey::Sfu(_, a) => m(a),
+        }
+    }
+}
+
+struct BlockState {
+    /// reg -> its current known value (imm / other reg / special / param).
+    copies: HashMap<Reg, Operand>,
+    /// available expression -> register holding it.
+    exprs: HashMap<ExprKey, Reg>,
+    /// reg -> (base reg, byte offset) from an `IAdd base, imm`.
+    addrs: HashMap<Reg, (Reg, i32)>,
+}
+
+impl BlockState {
+    fn new() -> Self {
+        BlockState {
+            copies: HashMap::new(),
+            exprs: HashMap::new(),
+            addrs: HashMap::new(),
+        }
+    }
+
+    fn resolve(&self, op: Operand) -> Operand {
+        match op {
+            Operand::Reg(r) => self.copies.get(&r).copied().unwrap_or(op),
+            _ => op,
+        }
+    }
+
+    /// Invalidates all knowledge involving `r` (it is being redefined).
+    fn kill(&mut self, r: Reg) {
+        self.copies.remove(&r);
+        self.copies
+            .retain(|_, v| !matches!(v, Operand::Reg(x) if *x == r));
+        self.exprs.retain(|k, v| *v != r && !k.mentions(r));
+        self.addrs
+            .retain(|k, (base, _)| *k != r && *base != r);
+    }
+}
+
+fn imm_of(op: Operand) -> Option<Value> {
+    op.as_imm()
+}
+
+/// Attempts to constant-fold a fully-immediate instruction into `Mov dst, imm`.
+fn try_fold(inst: &Inst) -> Option<Inst> {
+    let v = match *inst {
+        Inst::Alu { op, dst, a, b } => {
+            let (a, b) = (imm_of(a)?, imm_of(b)?);
+            return Some(mov(dst, Operand::Imm(exec::eval_alu(op, a, b))));
+        }
+        Inst::Un { op, dst, a } => {
+            if op == UnOp::Mov {
+                return None; // already canonical
+            }
+            let a = imm_of(a)?;
+            return Some(mov(dst, Operand::Imm(exec::eval_un(op, a))));
+        }
+        Inst::Ffma { dst, a, b, c } => {
+            (dst, exec::eval_ffma(imm_of(a)?, imm_of(b)?, imm_of(c)?))
+        }
+        Inst::Imad { dst, a, b, c } => {
+            (dst, exec::eval_imad(imm_of(a)?, imm_of(b)?, imm_of(c)?))
+        }
+        Inst::SetP { op, ty, dst, a, b } => {
+            (dst, exec::eval_cmp(op, ty, imm_of(a)?, imm_of(b)?))
+        }
+        Inst::Sel { dst, c, a, b } => {
+            let c = imm_of(c)?;
+            let pick = if c.as_bool() { a } else { b };
+            return Some(mov(dst, pick));
+        }
+        _ => return None,
+    };
+    Some(mov(v.0, Operand::Imm(v.1)))
+}
+
+fn mov(dst: Reg, a: Operand) -> Inst {
+    Inst::Un {
+        op: UnOp::Mov,
+        dst,
+        a,
+    }
+}
+
+/// Integer algebraic simplification and strength reduction.
+fn try_simplify(inst: &Inst) -> Option<Inst> {
+    if let Inst::Alu { op, dst, a, b } = *inst {
+        let bi = imm_of(b).map(|v| v.as_u32());
+        let ai = imm_of(a).map(|v| v.as_u32());
+        match (op, ai, bi) {
+            (AluOp::IAdd | AluOp::ISub | AluOp::Or | AluOp::Xor, _, Some(0)) => {
+                return Some(mov(dst, a));
+            }
+            (AluOp::IAdd | AluOp::Or | AluOp::Xor, Some(0), _) => return Some(mov(dst, b)),
+            (AluOp::Shl | AluOp::ShrU | AluOp::ShrS, _, Some(0)) => return Some(mov(dst, a)),
+            (AluOp::IMul, _, Some(1)) => return Some(mov(dst, a)),
+            (AluOp::IMul, Some(1), _) => return Some(mov(dst, b)),
+            (AluOp::IMul, _, Some(0)) | (AluOp::IMul, Some(0), _) => {
+                return Some(mov(dst, Operand::imm_u(0)));
+            }
+            (AluOp::And, _, Some(0)) | (AluOp::And, Some(0), _) => {
+                return Some(mov(dst, Operand::imm_u(0)));
+            }
+            // Strength reduction: multiply by a power of two becomes a shift.
+            (AluOp::IMul, _, Some(k)) if k.is_power_of_two() => {
+                return Some(Inst::Alu {
+                    op: AluOp::Shl,
+                    dst,
+                    a,
+                    b: Operand::imm_u(k.trailing_zeros()),
+                });
+            }
+            (AluOp::IMul, Some(k), _) if k.is_power_of_two() => {
+                return Some(Inst::Alu {
+                    op: AluOp::Shl,
+                    dst,
+                    a: b,
+                    b: Operand::imm_u(k.trailing_zeros()),
+                });
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn expr_key(inst: &Inst) -> Option<ExprKey> {
+    Some(match *inst {
+        Inst::Alu { op, a, b, .. } => ExprKey::Alu(op, a, b),
+        Inst::Ffma { a, b, c, .. } => ExprKey::Ffma(a, b, c),
+        Inst::Imad { a, b, c, .. } => ExprKey::Imad(a, b, c),
+        Inst::Un { op, a, .. } if op != UnOp::Mov => ExprKey::Un(op, a),
+        Inst::Sfu { op, a, .. } => ExprKey::Sfu(op, a),
+        Inst::SetP { op, ty, a, b, .. } => ExprKey::SetP(op, ty, a, b),
+        Inst::Sel { c, a, b, .. } => ExprKey::Sel(c, a, b),
+        _ => return None,
+    })
+}
+
+fn local_value_numbering(code: &mut [Inst], cse: bool) {
+    let cfg = build_cfg(code);
+    for blk in &cfg.blocks {
+        let mut st = BlockState::new();
+        for i in blk.start..blk.end {
+            let mut inst = code[i];
+
+            // 1. Rewrite sources through known values (copy/const propagation).
+            inst.for_each_use_mut(|op| *op = st.resolve(*op));
+
+            // 2. Fold / simplify.
+            if let Some(f) = try_fold(&inst) {
+                inst = f;
+            } else if let Some(s) = try_simplify(&inst) {
+                inst = s;
+            }
+
+            // 3. Fold `base + const` address definitions into memory offsets.
+            match &mut inst {
+                Inst::Ld { addr, off, .. } | Inst::St { addr, off, .. } => {
+                    if let Operand::Reg(r) = addr {
+                        if let Some(&(base, k)) = st.addrs.get(r) {
+                            *addr = Operand::Reg(base);
+                            *off += k;
+                        }
+                    }
+                }
+                _ => {}
+            }
+
+            // 4. CSE.
+            if cse && inst.is_pure() {
+                if let Some(key) = expr_key(&inst) {
+                    if let Some(&prior) = st.exprs.get(&key) {
+                        inst = mov(inst.def().unwrap(), Operand::Reg(prior));
+                    }
+                }
+            }
+
+            // 5. Update state for the (possibly rewritten) instruction.
+            if let Some(d) = inst.def() {
+                st.kill(d);
+                match inst {
+                    Inst::Un {
+                        op: UnOp::Mov,
+                        dst,
+                        a,
+                    }
+                        // Don't propagate self-copies (no information) or
+                        // special registers (the mov IS the canonical S2R
+                        // read; propagating it would defeat address-offset
+                        // folding, which needs register bases).
+                        if a != Operand::Reg(dst) && !matches!(a, Operand::Special(_)) => {
+                            st.copies.insert(dst, a);
+                        }
+                    Inst::Alu {
+                        op: AluOp::IAdd,
+                        dst,
+                        a,
+                        b,
+                    } => {
+                        if let (Operand::Reg(base), Some(k)) = (a, imm_of(b)) {
+                            if base != dst {
+                                st.addrs.insert(dst, (base, k.as_u32() as i32));
+                            }
+                        } else if let (Some(k), Operand::Reg(base)) = (imm_of(a), b) {
+                            if base != dst {
+                                st.addrs.insert(dst, (base, k.as_u32() as i32));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                if cse && inst.is_pure() {
+                    if let Some(key) = expr_key(&inst) {
+                        // Only record if the expression doesn't mention its own
+                        // destination (accumulators redefine themselves).
+                        if !key.mentions(d) {
+                            st.exprs.insert(key, d);
+                        }
+                    }
+                }
+            }
+
+            code[i] = inst;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dead-code elimination
+// ---------------------------------------------------------------------------
+
+fn dead_code_elimination(code: &mut Vec<Inst>) {
+    let cfg = build_cfg(code);
+    let lv = liveness(code, &cfg);
+    let mut dead = vec![false; code.len()];
+
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let mut live = lv.live_out[b].clone();
+        for i in (blk.start..blk.end).rev() {
+            let inst = &code[i];
+            let is_dead = inst.is_pure() && inst.def().is_some_and(|d| !live.contains(d));
+            if is_dead {
+                dead[i] = true;
+                continue;
+            }
+            if let Some(d) = inst.def() {
+                live.remove(d);
+            }
+            for u in inst.uses() {
+                live.insert(u);
+            }
+        }
+    }
+
+    if dead.iter().any(|&d| d) {
+        compact(code, &dead);
+    }
+}
+
+/// Removes instructions marked dead, remapping all branch labels.
+fn compact(code: &mut Vec<Inst>, dead: &[bool]) {
+    // new_index[i] = number of survivors strictly before i. For a branch
+    // target t this is exactly the new index of the first survivor at or
+    // after t.
+    let mut new_index = Vec::with_capacity(code.len() + 1);
+    let mut count = 0u32;
+    for &d in dead {
+        new_index.push(count);
+        if !d {
+            count += 1;
+        }
+    }
+    new_index.push(count);
+
+    let mut out = Vec::with_capacity(count as usize);
+    for (i, inst) in code.iter().enumerate() {
+        if dead[i] {
+            continue;
+        }
+        let mut inst = *inst;
+        if let Inst::Bra { target, reconv, .. } = &mut inst {
+            *target = Label(new_index[target.0 as usize]);
+            *reconv = Label(new_index[reconv.0 as usize]);
+        }
+        out.push(inst);
+    }
+    *code = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{CmpOp, Scalar, Space};
+
+    fn r(n: u32) -> Reg {
+        Reg(n)
+    }
+    fn iu(v: u32) -> Operand {
+        Operand::imm_u(v)
+    }
+
+    /// Helper: store r to global so it stays live, then exit.
+    fn finish(code: &mut Vec<Inst>, live: Reg) {
+        code.push(Inst::St {
+            space: Space::Global,
+            addr: iu(0),
+            off: 0,
+            src: live.into(),
+        });
+        code.push(Inst::Exit);
+    }
+
+    #[test]
+    fn folds_constant_chain() {
+        let mut code = vec![
+            mov(r(0), iu(6)),
+            Inst::Alu {
+                op: AluOp::IMul,
+                dst: r(1),
+                a: r(0).into(),
+                b: iu(7),
+            },
+        ];
+        finish(&mut code, r(1));
+        run(OptLevel::O1, &mut code);
+        // 6*7 folds to 42 and everything else dies.
+        assert!(code.iter().any(|i| matches!(
+            i,
+            Inst::St { src, .. } if *src == iu(42)
+        )));
+        assert_eq!(code.len(), 2); // st + exit
+    }
+
+    #[test]
+    fn strength_reduces_pow2_mul() {
+        let mut code = vec![
+            Inst::Un {
+                op: UnOp::Mov,
+                dst: r(0),
+                a: Operand::Special(crate::inst::SpecialReg::TidX),
+            },
+            Inst::Alu {
+                op: AluOp::IMul,
+                dst: r(1),
+                a: r(0).into(),
+                b: iu(8),
+            },
+        ];
+        finish(&mut code, r(1));
+        run(OptLevel::O1, &mut code);
+        assert!(code.iter().any(|i| matches!(
+            i,
+            Inst::Alu { op: AluOp::Shl, b, .. } if *b == iu(3)
+        )));
+        assert!(!code
+            .iter()
+            .any(|i| matches!(i, Inst::Alu { op: AluOp::IMul, .. })));
+    }
+
+    #[test]
+    fn cse_removes_duplicate_computation() {
+        let tid = Inst::Un {
+            op: UnOp::Mov,
+            dst: r(0),
+            a: Operand::Special(crate::inst::SpecialReg::TidX),
+        };
+        let mut code = vec![
+            tid,
+            Inst::Alu {
+                op: AluOp::Shl,
+                dst: r(1),
+                a: r(0).into(),
+                b: iu(2),
+            },
+            Inst::Alu {
+                op: AluOp::Shl,
+                dst: r(2),
+                a: r(0).into(),
+                b: iu(2),
+            }, // duplicate
+            Inst::Alu {
+                op: AluOp::IAdd,
+                dst: r(3),
+                a: r(1).into(),
+                b: r(2).into(),
+            },
+        ];
+        finish(&mut code, r(3));
+        run(OptLevel::O2, &mut code);
+        let shls = code
+            .iter()
+            .filter(|i| matches!(i, Inst::Alu { op: AluOp::Shl, .. }))
+            .count();
+        assert_eq!(shls, 1);
+    }
+
+    #[test]
+    fn cse_disabled_at_o1() {
+        let tid = Inst::Un {
+            op: UnOp::Mov,
+            dst: r(0),
+            a: Operand::Special(crate::inst::SpecialReg::TidX),
+        };
+        let mut code = vec![
+            tid,
+            Inst::Alu {
+                op: AluOp::Shl,
+                dst: r(1),
+                a: r(0).into(),
+                b: iu(2),
+            },
+            Inst::Alu {
+                op: AluOp::Shl,
+                dst: r(2),
+                a: r(0).into(),
+                b: iu(2),
+            },
+            Inst::Alu {
+                op: AluOp::IAdd,
+                dst: r(3),
+                a: r(1).into(),
+                b: r(2).into(),
+            },
+        ];
+        finish(&mut code, r(3));
+        run(OptLevel::O1, &mut code);
+        let shls = code
+            .iter()
+            .filter(|i| matches!(i, Inst::Alu { op: AluOp::Shl, .. }))
+            .count();
+        assert_eq!(shls, 2);
+    }
+
+    #[test]
+    fn folds_address_offsets_into_loads() {
+        let tid = Inst::Un {
+            op: UnOp::Mov,
+            dst: r(0),
+            a: Operand::Special(crate::inst::SpecialReg::TidX),
+        };
+        let mut code = vec![
+            tid,
+            Inst::Alu {
+                op: AluOp::IAdd,
+                dst: r(1),
+                a: r(0).into(),
+                b: iu(64),
+            },
+            Inst::Ld {
+                space: Space::Global,
+                dst: r(2),
+                addr: r(1).into(),
+                off: 4,
+            },
+        ];
+        finish(&mut code, r(2));
+        run(OptLevel::O1, &mut code);
+        // The add folds into the load offset and then dies.
+        assert!(code.iter().any(|i| matches!(
+            i,
+            Inst::Ld { addr: Operand::Reg(Reg(0)), off: 68, .. }
+        )));
+        assert!(!code
+            .iter()
+            .any(|i| matches!(i, Inst::Alu { op: AluOp::IAdd, .. })));
+    }
+
+    #[test]
+    fn no_f32_identity_folding() {
+        // x + 0.0 must NOT be simplified (x could be -0.0).
+        let tid = Inst::Un {
+            op: UnOp::Mov,
+            dst: r(0),
+            a: Operand::Special(crate::inst::SpecialReg::TidX),
+        };
+        let mut code = vec![
+            tid,
+            Inst::Alu {
+                op: AluOp::FAdd,
+                dst: r(1),
+                a: r(0).into(),
+                b: Operand::imm_f(0.0),
+            },
+        ];
+        finish(&mut code, r(1));
+        run(OptLevel::O2, &mut code);
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, Inst::Alu { op: AluOp::FAdd, .. })));
+    }
+
+    #[test]
+    fn dce_preserves_branch_targets() {
+        // dead mov before a loop; DCE must remap the back edge.
+        let mut code = vec![
+            mov(r(9), iu(123)), // dead
+            mov(r(0), iu(0)),
+            Inst::Alu {
+                op: AluOp::IAdd,
+                dst: r(0),
+                a: r(0).into(),
+                b: iu(1),
+            },
+            Inst::SetP {
+                op: CmpOp::Lt,
+                ty: Scalar::U32,
+                dst: r(1),
+                a: r(0).into(),
+                b: iu(10),
+            },
+            Inst::Bra {
+                target: Label(2),
+                reconv: Label(5),
+                pred: Some(crate::inst::Pred::if_true(r(1))),
+            },
+            Inst::St {
+                space: Space::Global,
+                addr: iu(0),
+                off: 0,
+                src: r(0).into(),
+            },
+            Inst::Exit,
+        ];
+        run(OptLevel::O1, &mut code);
+        assert!(!code
+            .iter()
+            .any(|i| matches!(i, Inst::Un { dst: Reg(9), .. })));
+        // The back edge must still point at the IAdd.
+        let bra_target = code
+            .iter()
+            .find_map(|i| match i {
+                Inst::Bra {
+                    target,
+                    pred: Some(_),
+                    ..
+                } => Some(target.0 as usize),
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(
+            code[bra_target],
+            Inst::Alu { op: AluOp::IAdd, .. }
+        ));
+    }
+
+    #[test]
+    fn accumulator_not_csed_into_itself() {
+        // acc = acc + x twice must stay two adds (value changes).
+        let tid = Inst::Un {
+            op: UnOp::Mov,
+            dst: r(0),
+            a: Operand::Special(crate::inst::SpecialReg::TidX),
+        };
+        let mut code = vec![
+            tid,
+            Inst::Ld {
+                space: Space::Global,
+                dst: r(1),
+                addr: iu(0),
+                off: 0,
+            },
+            Inst::Alu {
+                op: AluOp::IAdd,
+                dst: r(1),
+                a: r(1).into(),
+                b: r(0).into(),
+            },
+            Inst::Alu {
+                op: AluOp::IAdd,
+                dst: r(1),
+                a: r(1).into(),
+                b: r(0).into(),
+            },
+        ];
+        finish(&mut code, r(1));
+        run(OptLevel::O2, &mut code);
+        let adds = code
+            .iter()
+            .filter(|i| matches!(i, Inst::Alu { op: AluOp::IAdd, .. }))
+            .count();
+        assert_eq!(adds, 2);
+    }
+
+    #[test]
+    fn o0_is_identity() {
+        let mut code = vec![mov(r(0), iu(1)), mov(r(1), iu(2)), Inst::Exit];
+        let orig = code.clone();
+        run(OptLevel::O0, &mut code);
+        assert_eq!(code, orig);
+    }
+}

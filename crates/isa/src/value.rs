@@ -1,0 +1,134 @@
+//! 32-bit register values.
+//!
+//! The G80 register file is typeless: every general-purpose register holds 32
+//! bits and the instruction decides how to interpret them (`f32`, `u32`, or
+//! `i32`). [`Value`] mirrors that — it is a bag of 32 bits with typed views.
+
+/// A 32-bit register value with typed bit-cast views.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// The all-zeros value (0u32, 0i32, and +0.0f32 simultaneously).
+    pub const ZERO: Value = Value(0);
+
+    /// Creates a value from an `f32` bit pattern.
+    #[inline]
+    pub fn from_f32(v: f32) -> Self {
+        Value(v.to_bits())
+    }
+
+    /// Creates a value from a `u32`.
+    #[inline]
+    pub fn from_u32(v: u32) -> Self {
+        Value(v)
+    }
+
+    /// Creates a value from an `i32` bit pattern.
+    #[inline]
+    pub fn from_i32(v: i32) -> Self {
+        Value(v as u32)
+    }
+
+    /// Creates a boolean predicate value (1 for true, 0 for false).
+    #[inline]
+    pub fn from_bool(v: bool) -> Self {
+        Value(v as u32)
+    }
+
+    /// Interprets the bits as `f32`.
+    #[inline]
+    pub fn as_f32(self) -> f32 {
+        f32::from_bits(self.0)
+    }
+
+    /// Interprets the bits as `u32`.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Interprets the bits as `i32`.
+    #[inline]
+    pub fn as_i32(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// Predicate test: any nonzero bit pattern is true (PTX `setp` emits 1/0,
+    /// but hardware branches on "register != 0").
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:08x}({}|{})", self.0, self.as_u32(), self.as_f32())
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from_f32(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::from_u32(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::from_i32(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::from_bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::INFINITY, f32::MIN_POSITIVE] {
+            assert_eq!(Value::from_f32(v).as_f32(), v);
+        }
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let nan = f32::from_bits(0x7fc0_1234);
+        assert_eq!(Value::from_f32(nan).0, 0x7fc0_1234);
+    }
+
+    #[test]
+    fn i32_u32_alias() {
+        let v = Value::from_i32(-1);
+        assert_eq!(v.as_u32(), u32::MAX);
+        assert_eq!(v.as_i32(), -1);
+    }
+
+    #[test]
+    fn bool_semantics() {
+        assert!(Value::from_bool(true).as_bool());
+        assert!(!Value::from_bool(false).as_bool());
+        // Hardware treats any nonzero register as a true predicate.
+        assert!(Value::from_f32(-0.0).as_bool()); // sign bit set
+        assert!(!Value::ZERO.as_bool());
+    }
+
+    #[test]
+    fn zero_is_all_views() {
+        assert_eq!(Value::ZERO.as_f32(), 0.0);
+        assert_eq!(Value::ZERO.as_u32(), 0);
+        assert_eq!(Value::ZERO.as_i32(), 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Performance counters collected during a kernel launch.
+
+use crate::config::GpuConfig;
+use g80_isa::InstClass;
+use std::collections::HashMap;
+
+/// Why the issue unit of an SM was idle.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum StallReason {
+    /// All warps waiting on global/local/texture memory results.
+    Memory,
+    /// All warps waiting on arithmetic pipeline results.
+    AluDependency,
+    /// All warps parked at a barrier.
+    Barrier,
+    /// Warps exist but their issue slots are busy (multi-cycle instructions).
+    IssueBusy,
+    /// No resident work (tail of the grid).
+    Drain,
+}
+
+/// Counters for one SM; merged into [`KernelStats`] after the launch.
+#[derive(Clone, Debug, Default)]
+pub struct SmStats {
+    pub cycles: u64,
+    pub warp_instructions: u64,
+    pub thread_instructions: u64,
+    pub flops: u64,
+    pub by_class: HashMap<InstClass, u64>,
+    pub global_ld_transactions: u64,
+    pub global_st_transactions: u64,
+    pub global_bytes: u64,
+    pub coalesced_half_warps: u64,
+    pub uncoalesced_half_warps: u64,
+    pub smem_conflict_extra_cycles: u64,
+    pub divergent_branches: u64,
+    pub tex_hits: u64,
+    pub tex_misses: u64,
+    pub const_hits: u64,
+    pub const_misses: u64,
+    pub atomic_transactions: u64,
+    pub stall_cycles: HashMap<StallReason, u64>,
+    pub blocks_executed: u64,
+}
+
+impl SmStats {
+    pub(crate) fn count_inst(&mut self, class: InstClass, active_lanes: u32, flops: u32) {
+        self.warp_instructions += 1;
+        self.thread_instructions += active_lanes as u64;
+        self.flops += flops as u64 * active_lanes as u64;
+        *self.by_class.entry(class).or_insert(0) += 1;
+    }
+
+    pub(crate) fn stall(&mut self, reason: StallReason, cycles: u64) {
+        *self.stall_cycles.entry(reason).or_insert(0) += cycles;
+    }
+}
+
+/// Aggregated result of a kernel launch.
+#[derive(Clone, Debug)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: String,
+    /// Elapsed cycles (max over SMs — the kernel finishes when its slowest
+    /// SM drains).
+    pub cycles: u64,
+    /// Elapsed wall-clock seconds on the simulated machine.
+    pub elapsed: f64,
+    /// Dynamic warp instructions issued, summed over SMs.
+    pub warp_instructions: u64,
+    /// Dynamic thread instructions (warp instructions × active lanes).
+    pub thread_instructions: u64,
+    /// Floating-point operations executed (FMA = 2).
+    pub flops: u64,
+    /// Dynamic warp-instruction counts by class.
+    pub by_class: HashMap<InstClass, u64>,
+    /// Global memory read transactions.
+    pub global_ld_transactions: u64,
+    /// Global memory write transactions.
+    pub global_st_transactions: u64,
+    /// Bytes moved to/from DRAM.
+    pub global_bytes: u64,
+    /// Half-warp global accesses that met the coalescing rules.
+    pub coalesced_half_warps: u64,
+    /// Half-warp global accesses that did not.
+    pub uncoalesced_half_warps: u64,
+    /// Extra issue cycles serialized by shared-memory bank conflicts.
+    pub smem_conflict_extra_cycles: u64,
+    /// Warp branches where the warp split.
+    pub divergent_branches: u64,
+    /// Texture cache hits / misses.
+    pub tex_hits: u64,
+    pub tex_misses: u64,
+    /// Constant cache hits / misses.
+    pub const_hits: u64,
+    pub const_misses: u64,
+    /// Atomic transactions to memory.
+    pub atomic_transactions: u64,
+    /// Idle issue cycles by reason, summed over SMs.
+    pub stall_cycles: HashMap<StallReason, u64>,
+    /// Thread blocks executed.
+    pub blocks_executed: u64,
+
+    // ---- static/launch-derived ----
+    /// Registers per thread of the launched kernel.
+    pub regs_per_thread: u32,
+    /// Shared memory per block in bytes.
+    pub smem_per_block: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Blocks resident per SM under the occupancy limits.
+    pub blocks_per_sm: u32,
+    /// Maximum simultaneously active threads across the chip (Table 3
+    /// column: min(grid size, capacity)).
+    pub max_simultaneous_threads: u32,
+    /// Total threads launched.
+    pub total_threads: u64,
+
+    pub(crate) clock_ghz: f64,
+    pub(crate) dram_bytes_per_cycle: f64,
+    pub(crate) num_sms: u32,
+    pub(crate) max_warps_per_sm: u32,
+    pub(crate) warp_size: u32,
+}
+
+impl KernelStats {
+    #[allow(clippy::too_many_arguments)] // internal constructor fed by launch()
+    pub(crate) fn merge(
+        name: &str,
+        cfg: &GpuConfig,
+        per_sm: Vec<SmStats>,
+        regs_per_thread: u32,
+        smem_per_block: u32,
+        threads_per_block: u32,
+        blocks_per_sm: u32,
+        total_blocks: u64,
+    ) -> Self {
+        let mut s = KernelStats {
+            name: name.to_string(),
+            cycles: 0,
+            elapsed: 0.0,
+            warp_instructions: 0,
+            thread_instructions: 0,
+            flops: 0,
+            by_class: HashMap::new(),
+            global_ld_transactions: 0,
+            global_st_transactions: 0,
+            global_bytes: 0,
+            coalesced_half_warps: 0,
+            uncoalesced_half_warps: 0,
+            smem_conflict_extra_cycles: 0,
+            divergent_branches: 0,
+            tex_hits: 0,
+            tex_misses: 0,
+            const_hits: 0,
+            const_misses: 0,
+            atomic_transactions: 0,
+            stall_cycles: HashMap::new(),
+            blocks_executed: 0,
+            regs_per_thread,
+            smem_per_block,
+            threads_per_block,
+            blocks_per_sm,
+            max_simultaneous_threads: (blocks_per_sm * cfg.num_sms).min(total_blocks as u32)
+                * threads_per_block,
+            total_threads: total_blocks * threads_per_block as u64,
+            clock_ghz: cfg.clock_ghz,
+            dram_bytes_per_cycle: cfg.dram_bytes_per_cycle(),
+            num_sms: cfg.num_sms,
+            max_warps_per_sm: cfg.max_warps_per_sm(),
+            warp_size: cfg.warp_size,
+        };
+        for sm in per_sm {
+            s.cycles = s.cycles.max(sm.cycles);
+            s.warp_instructions += sm.warp_instructions;
+            s.thread_instructions += sm.thread_instructions;
+            s.flops += sm.flops;
+            for (k, v) in sm.by_class {
+                *s.by_class.entry(k).or_insert(0) += v;
+            }
+            s.global_ld_transactions += sm.global_ld_transactions;
+            s.global_st_transactions += sm.global_st_transactions;
+            s.global_bytes += sm.global_bytes;
+            s.coalesced_half_warps += sm.coalesced_half_warps;
+            s.uncoalesced_half_warps += sm.uncoalesced_half_warps;
+            s.smem_conflict_extra_cycles += sm.smem_conflict_extra_cycles;
+            s.divergent_branches += sm.divergent_branches;
+            s.tex_hits += sm.tex_hits;
+            s.tex_misses += sm.tex_misses;
+            s.const_hits += sm.const_hits;
+            s.const_misses += sm.const_misses;
+            s.atomic_transactions += sm.atomic_transactions;
+            for (k, v) in sm.stall_cycles {
+                *s.stall_cycles.entry(k).or_insert(0) += v;
+            }
+            s.blocks_executed += sm.blocks_executed;
+        }
+        s.elapsed = s.cycles as f64 / (s.clock_ghz * 1e9);
+        s
+    }
+
+    /// Folds another launch's counters into this one (for time-stepped
+    /// applications that relaunch a kernel per step: cycles and traffic add;
+    /// static occupancy fields keep the first launch's values).
+    pub fn accumulate(&mut self, other: &KernelStats) {
+        self.cycles += other.cycles;
+        self.elapsed += other.elapsed;
+        self.warp_instructions += other.warp_instructions;
+        self.thread_instructions += other.thread_instructions;
+        self.flops += other.flops;
+        for (k, v) in &other.by_class {
+            *self.by_class.entry(*k).or_insert(0) += v;
+        }
+        self.global_ld_transactions += other.global_ld_transactions;
+        self.global_st_transactions += other.global_st_transactions;
+        self.global_bytes += other.global_bytes;
+        self.coalesced_half_warps += other.coalesced_half_warps;
+        self.uncoalesced_half_warps += other.uncoalesced_half_warps;
+        self.smem_conflict_extra_cycles += other.smem_conflict_extra_cycles;
+        self.divergent_branches += other.divergent_branches;
+        self.tex_hits += other.tex_hits;
+        self.tex_misses += other.tex_misses;
+        self.const_hits += other.const_hits;
+        self.const_misses += other.const_misses;
+        self.atomic_transactions += other.atomic_transactions;
+        for (k, v) in &other.stall_cycles {
+            *self.stall_cycles.entry(*k).or_insert(0) += v;
+        }
+        self.blocks_executed += other.blocks_executed;
+    }
+
+    /// Achieved GFLOPS over the kernel execution.
+    pub fn gflops(&self) -> f64 {
+        if self.elapsed == 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / self.elapsed / 1e9
+        }
+    }
+
+    /// Achieved DRAM bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        if self.elapsed == 0.0 {
+            0.0
+        } else {
+            self.global_bytes as f64 / self.elapsed / 1e9
+        }
+    }
+
+    /// The paper's Table 3 "GPU global-memory-to-computation cycle ratio":
+    /// cycles the DRAM interface is busy divided by cycles the issue units
+    /// are busy.
+    pub fn global_to_compute_ratio(&self) -> f64 {
+        let mem_cycles = self.global_bytes as f64 / self.dram_bytes_per_cycle;
+        let issue_cycles = (self.warp_instructions * 4) as f64 / self.num_sms as f64;
+        if issue_cycles == 0.0 {
+            0.0
+        } else {
+            mem_cycles / issue_cycles
+        }
+    }
+
+    /// Fraction of half-warp global accesses that were coalesced.
+    pub fn coalesced_fraction(&self) -> f64 {
+        let t = self.coalesced_half_warps + self.uncoalesced_half_warps;
+        if t == 0 {
+            1.0
+        } else {
+            self.coalesced_half_warps as f64 / t as f64
+        }
+    }
+
+    /// Fraction of dynamic warp instructions that are f32 FMAs.
+    pub fn fma_fraction(&self) -> f64 {
+        if self.warp_instructions == 0 {
+            return 0.0;
+        }
+        self.by_class.get(&InstClass::Fma).copied().unwrap_or(0) as f64
+            / self.warp_instructions as f64
+    }
+
+    /// Achieved occupancy: resident warps relative to the machine's
+    /// per-SM warp-context maximum (24 on the G80).
+    pub fn occupancy(&self) -> f64 {
+        let warps_per_block = self.threads_per_block.div_ceil(self.warp_size);
+        (self.blocks_per_sm * warps_per_block) as f64 / self.max_warps_per_sm as f64
+    }
+
+    /// Total idle issue cycles.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.stall_cycles.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(cycles: u64, flops: u64) -> KernelStats {
+        let cfg = GpuConfig::geforce_8800_gtx();
+        let mut sm = SmStats::default();
+        sm.cycles = cycles;
+        sm.flops = flops;
+        sm.warp_instructions = 100;
+        sm.thread_instructions = 3200;
+        sm.global_bytes = 4096;
+        KernelStats::merge("d", &cfg, vec![sm], 10, 0, 256, 3, 8)
+    }
+
+    #[test]
+    fn merge_takes_max_cycles_and_sums_counters() {
+        let cfg = GpuConfig::geforce_8800_gtx();
+        let mut a = SmStats::default();
+        a.cycles = 100;
+        a.flops = 10;
+        let mut b = SmStats::default();
+        b.cycles = 250;
+        b.flops = 20;
+        let s = KernelStats::merge("m", &cfg, vec![a, b], 8, 0, 128, 2, 4);
+        assert_eq!(s.cycles, 250); // slowest SM
+        assert_eq!(s.flops, 30);
+        assert_eq!(s.max_simultaneous_threads, 4 * 128); // grid-limited
+        assert_eq!(s.total_threads, 4 * 128);
+    }
+
+    #[test]
+    fn accumulate_adds_cycles_for_multi_launch_apps() {
+        let mut a = dummy(1000, 500);
+        let b = dummy(2000, 700);
+        let (e1, e2) = (a.elapsed, b.elapsed);
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 3000);
+        assert_eq!(a.flops, 1200);
+        assert!((a.elapsed - (e1 + e2)).abs() < 1e-12);
+        assert_eq!(a.warp_instructions, 200);
+    }
+
+    #[test]
+    fn derived_metrics_behave() {
+        let s = dummy(1350, 2700); // 1 us at 1.35 GHz
+        assert!((s.elapsed - 1e-6).abs() < 1e-12);
+        assert!((s.gflops() - 2.7e-3 / 1e-6 / 1e3).abs() < 1e-9);
+        assert!(s.bandwidth_gbps() > 0.0);
+        assert!((s.occupancy() - 1.0).abs() < 1e-9); // 3 blocks * 8 warps / 24
+        assert_eq!(s.coalesced_fraction(), 1.0); // no accesses recorded
+    }
+}

@@ -1,0 +1,125 @@
+//! Kernel launch: occupancy-checked block scheduling across the 16 SMs,
+//! simulated in parallel with scoped threads.
+//!
+//! Blocks are distributed round-robin over SMs at launch, and each SM refills
+//! its own slots as resident blocks retire. Because DRAM bandwidth is
+//! partitioned evenly per SM (see `GpuConfig::dram_bytes_per_cycle_per_sm`),
+//! SM simulations are mutually independent and the result is deterministic
+//! regardless of host thread scheduling.
+
+use crate::config::GpuConfig;
+use crate::counters::{KernelStats, SmStats};
+use crate::memory::DeviceMemory;
+use crate::sm::{run_sm, LaunchDims};
+use g80_isa::{Kernel, Value};
+
+/// Errors rejected at launch time (the CUDA runtime would fail the same way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Block dimensions exceed the 512-thread limit or are zero.
+    BadBlockDims(String),
+    /// Grid dimensions are zero or exceed the 65535 limit.
+    BadGridDims(String),
+    /// One block alone exceeds a per-SM resource (registers / shared
+    /// memory / threads).
+    BlockDoesNotFit(String),
+    /// Wrong number of kernel parameters.
+    BadParams(String),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::BadBlockDims(s)
+            | LaunchError::BadGridDims(s)
+            | LaunchError::BlockDoesNotFit(s)
+            | LaunchError::BadParams(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Launches a kernel on the simulated GPU and runs it to completion.
+///
+/// Returns the performance counters; output data lands in `mem`.
+pub fn launch(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    dims: LaunchDims,
+    params: &[Value],
+    mem: &DeviceMemory,
+) -> Result<KernelStats, LaunchError> {
+    // The timing engine's warp machinery (masks, register file striding) is
+    // fixed at 32 lanes; configs are free to vary everything else.
+    assert_eq!(
+        cfg.warp_size, 32,
+        "the simulation engine only supports 32-lane warps"
+    );
+    let tpb = dims.threads_per_block();
+    if tpb == 0 || tpb > cfg.max_threads_per_block {
+        return Err(LaunchError::BadBlockDims(format!(
+            "kernel {}: {} threads per block (limit {})",
+            kernel.name, tpb, cfg.max_threads_per_block
+        )));
+    }
+    if dims.grid.0 == 0 || dims.grid.1 == 0 || dims.grid.0 > 65535 || dims.grid.1 > 65535 {
+        return Err(LaunchError::BadGridDims(format!(
+            "kernel {}: grid {:?}",
+            kernel.name, dims.grid
+        )));
+    }
+    if params.len() != kernel.num_params as usize {
+        return Err(LaunchError::BadParams(format!(
+            "kernel {} expects {} params, got {}",
+            kernel.name,
+            kernel.num_params,
+            params.len()
+        )));
+    }
+    let blocks_per_sm = cfg.blocks_per_sm(kernel.regs_per_thread, kernel.smem_bytes, tpb);
+    if blocks_per_sm == 0 {
+        return Err(LaunchError::BlockDoesNotFit(format!(
+            "kernel {}: a {}-thread block with {} regs/thread and {} B smem does not fit on an SM",
+            kernel.name, tpb, kernel.regs_per_thread, kernel.smem_bytes
+        )));
+    }
+
+    // Round-robin static assignment of blocks to SMs.
+    let mut per_sm_blocks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); cfg.num_sms as usize];
+    let mut i = 0usize;
+    for cy in 0..dims.grid.1 {
+        for cx in 0..dims.grid.0 {
+            per_sm_blocks[i % cfg.num_sms as usize].push((cx, cy));
+            i += 1;
+        }
+    }
+
+    // Simulate SMs in parallel; they share only the atomic global memory.
+    let mut results: Vec<SmStats> = Vec::with_capacity(cfg.num_sms as usize);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = per_sm_blocks
+            .iter()
+            .map(|blocks| {
+                scope.spawn(move |_| {
+                    run_sm(cfg, kernel, &dims, params, mem, blocks, blocks_per_sm)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("SM simulation thread panicked"));
+        }
+    })
+    .expect("simulation scope panicked");
+
+    Ok(KernelStats::merge(
+        &kernel.name,
+        cfg,
+        results,
+        kernel.regs_per_thread,
+        kernel.smem_bytes,
+        tpb,
+        blocks_per_sm,
+        dims.total_blocks(),
+    ))
+}

@@ -1,0 +1,380 @@
+//! Device memory and the access-pattern machinery: global-memory coalescing,
+//! shared-memory bank conflicts, and the constant/texture caches.
+//!
+//! Global memory is stored as `AtomicU32` words so the 16 SM simulation
+//! threads can execute concurrently in safe Rust; kernels that follow the
+//! CUDA consistency rules (no data races between blocks except via atomics)
+//! observe exactly the values they would on hardware. All accesses are
+//! 4-byte words at byte addresses.
+
+use crate::config::GpuConfig;
+use g80_isa::Value;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Device global memory plus the read-only constant bank and an optional
+/// texture binding.
+pub struct DeviceMemory {
+    words: Vec<AtomicU32>,
+    /// Constant bank contents (read-only during kernels).
+    pub const_bank: Vec<u32>,
+    /// Texture binding: (base byte address, length in bytes) into global
+    /// memory. Texture fetches address this window.
+    pub tex_binding: Option<(u32, u32)>,
+}
+
+impl DeviceMemory {
+    /// Creates a device memory of `bytes` bytes (rounded up to a word).
+    pub fn new(bytes: u32) -> Self {
+        let words = (bytes as usize).div_ceil(4);
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU32::new(0));
+        DeviceMemory {
+            words: v,
+            const_bank: Vec::new(),
+            tex_binding: None,
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Reads the word at a byte address.
+    #[inline]
+    pub fn read(&self, addr: u32) -> Value {
+        let idx = (addr / 4) as usize;
+        assert!(
+            idx < self.words.len(),
+            "global read out of bounds: addr {addr:#x}"
+        );
+        Value(self.words[idx].load(Ordering::Relaxed))
+    }
+
+    /// Writes the word at a byte address.
+    #[inline]
+    pub fn write(&self, addr: u32, v: Value) {
+        let idx = (addr / 4) as usize;
+        assert!(
+            idx < self.words.len(),
+            "global write out of bounds: addr {addr:#x}"
+        );
+        self.words[idx].store(v.0, Ordering::Relaxed);
+    }
+
+    /// Atomic read-modify-write; returns the old value. Uses a CAS loop so
+    /// every [`g80_isa::AtomOp`] works uniformly.
+    pub fn atomic(&self, op: g80_isa::AtomOp, addr: u32, src: Value) -> Value {
+        let idx = (addr / 4) as usize;
+        assert!(
+            idx < self.words.len(),
+            "atomic out of bounds: addr {addr:#x}"
+        );
+        let cell = &self.words[idx];
+        let mut old = cell.load(Ordering::Relaxed);
+        loop {
+            let (new, _) = g80_isa::exec::eval_atom(op, Value(old), src);
+            match cell.compare_exchange_weak(old, new.0, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return Value(old),
+                Err(cur) => old = cur,
+            }
+        }
+    }
+
+    /// Host-side bulk write (cudaMemcpy host-to-device).
+    pub fn write_slice(&self, byte_addr: u32, data: &[u32]) {
+        for (i, &w) in data.iter().enumerate() {
+            self.write(byte_addr + (i as u32) * 4, Value(w));
+        }
+    }
+
+    /// Host-side bulk read (cudaMemcpy device-to-host).
+    pub fn read_slice(&self, byte_addr: u32, out: &mut [u32]) {
+        for (i, w) in out.iter_mut().enumerate() {
+            *w = self.read(byte_addr + (i as u32) * 4).0;
+        }
+    }
+
+    /// Reads a constant-bank word at a byte address.
+    #[inline]
+    pub fn read_const(&self, addr: u32) -> Value {
+        let idx = (addr / 4) as usize;
+        assert!(
+            idx < self.const_bank.len(),
+            "const read out of bounds: addr {addr:#x}"
+        );
+        Value(self.const_bank[idx])
+    }
+
+    /// Resolves a texture fetch (byte offset into the bound window) to a
+    /// global byte address.
+    #[inline]
+    pub fn tex_to_global(&self, addr: u32) -> u32 {
+        let (base, len) = self
+            .tex_binding
+            .expect("texture fetch without a bound texture");
+        assert!(addr < len, "texture fetch out of bounds: addr {addr:#x}");
+        base + addr
+    }
+}
+
+/// Result of analysing one half-warp's global access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HalfWarpAccess {
+    /// Whether the access met the CC 1.0 coalescing rules.
+    pub coalesced: bool,
+    /// Number of memory transactions issued.
+    pub transactions: u32,
+    /// Total bytes moved.
+    pub bytes: u64,
+}
+
+/// Applies the GeForce 8800 (compute capability 1.0) coalescing rules to one
+/// half-warp of byte addresses (`None` = inactive lane).
+///
+/// The access coalesces into a single transaction iff every active lane `k`
+/// accesses word `k` of one aligned 16-word (64 B) segment. Anything else —
+/// permuted, misaligned, strided, or broadcast — issues a separate
+/// transaction per distinct address (duplicates optionally combined,
+/// paper footnote 4) at DRAM burst granularity.
+pub fn coalesce_half_warp(cfg: &GpuConfig, addrs: &[Option<u32>; 16]) -> HalfWarpAccess {
+    let active: Vec<(usize, u32)> = addrs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| a.map(|a| (i, a)))
+        .collect();
+    if active.is_empty() {
+        return HalfWarpAccess {
+            coalesced: true,
+            transactions: 0,
+            bytes: 0,
+        };
+    }
+
+    // Segment base from any active lane: lane k at word k of the segment.
+    let (lane0, addr0) = active[0];
+    let base = addr0.wrapping_sub((lane0 as u32) * 4);
+    let aligned = base % (cfg.coalesced_txn_bytes) == 0;
+    let coalesced = aligned
+        && active
+            .iter()
+            .all(|&(lane, addr)| addr == base + (lane as u32) * 4);
+
+    if coalesced {
+        HalfWarpAccess {
+            coalesced: true,
+            transactions: 1,
+            bytes: cfg.coalesced_txn_bytes as u64,
+        }
+    } else {
+        let mut addrs: Vec<u32> = active.iter().map(|&(_, a)| a).collect();
+        if cfg.combine_duplicates {
+            addrs.sort_unstable();
+            addrs.dedup();
+        }
+        let n = addrs.len() as u32;
+        HalfWarpAccess {
+            coalesced: false,
+            transactions: n,
+            bytes: n as u64 * cfg.uncoalesced_txn_bytes as u64,
+        }
+    }
+}
+
+/// Computes the bank-conflict degree of one half-warp of shared-memory byte
+/// addresses: the maximum number of *distinct* addresses mapping to one bank
+/// (identical addresses broadcast for free on G80).
+pub fn smem_conflict_degree(cfg: &GpuConfig, addrs: &[Option<u32>; 16]) -> u32 {
+    let nbanks = cfg.smem_banks as usize;
+    let mut per_bank: Vec<Vec<u32>> = vec![Vec::new(); nbanks];
+    for a in addrs.iter().flatten() {
+        let bank = ((a / 4) as usize) % nbanks;
+        if !per_bank[bank].contains(a) {
+            per_bank[bank].push(*a);
+        }
+    }
+    per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0).max(1)
+}
+
+/// A direct-mapped per-SM cache model (tags only — data comes from the
+/// backing store functionally). Used for both the constant and texture
+/// caches.
+pub struct TagCache {
+    line_bytes: u32,
+    tags: Vec<u64>,
+}
+
+impl TagCache {
+    /// A cache of `size_bytes` capacity with `line_bytes` lines.
+    pub fn new(size_bytes: u32, line_bytes: u32) -> Self {
+        let lines = (size_bytes / line_bytes).max(1) as usize;
+        TagCache {
+            line_bytes,
+            tags: vec![u64::MAX; lines],
+        }
+    }
+
+    /// Looks up the line containing `addr`, filling on miss. Returns true on
+    /// hit.
+    pub fn access(&mut self, addr: u32) -> bool {
+        let line = (addr / self.line_bytes) as u64;
+        let set = (line as usize) % self.tags.len();
+        if self.tags[set] == line {
+            true
+        } else {
+            self.tags[set] = line;
+            false
+        }
+    }
+
+    /// Invalidates all lines.
+    pub fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::geforce_8800_gtx()
+    }
+
+    fn lanes(addrs: &[u32]) -> [Option<u32>; 16] {
+        let mut a = [None; 16];
+        for (i, &x) in addrs.iter().enumerate() {
+            a[i] = Some(x);
+        }
+        a
+    }
+
+    #[test]
+    fn contiguous_aligned_coalesces() {
+        let a: Vec<u32> = (0..16).map(|i| 0x1000 + i * 4).collect();
+        let r = coalesce_half_warp(&cfg(), &lanes(&a));
+        assert!(r.coalesced);
+        assert_eq!(r.transactions, 1);
+        assert_eq!(r.bytes, 64);
+    }
+
+    #[test]
+    fn partial_half_warp_still_coalesces() {
+        // Only 8 active lanes, but each at its own word slot.
+        let mut a = [None; 16];
+        for i in 0..8 {
+            a[i] = Some(0x2000 + (i as u32) * 4);
+        }
+        let r = coalesce_half_warp(&cfg(), &a);
+        assert!(r.coalesced);
+        assert_eq!(r.transactions, 1);
+    }
+
+    #[test]
+    fn misaligned_contiguous_does_not_coalesce() {
+        // Contiguous but shifted by one word: 16 separate transactions on
+        // CC 1.0 — the classic 16x penalty.
+        let a: Vec<u32> = (0..16).map(|i| 0x1004 + i * 4).collect();
+        let r = coalesce_half_warp(&cfg(), &lanes(&a));
+        assert!(!r.coalesced);
+        assert_eq!(r.transactions, 16);
+        assert_eq!(r.bytes, 16 * cfg().uncoalesced_txn_bytes as u64);
+    }
+
+    #[test]
+    fn permuted_does_not_coalesce() {
+        let mut a: Vec<u32> = (0..16).map(|i| 0x1000 + i * 4).collect();
+        a.swap(0, 1);
+        let r = coalesce_half_warp(&cfg(), &lanes(&a));
+        assert!(!r.coalesced);
+        assert_eq!(r.transactions, 16);
+    }
+
+    #[test]
+    fn strided_pays_per_lane() {
+        // Stride-2 words: every active lane its own transaction.
+        let a: Vec<u32> = (0..16).map(|i| 0x1000 + i * 8).collect();
+        let r = coalesce_half_warp(&cfg(), &lanes(&a));
+        assert!(!r.coalesced);
+        assert_eq!(r.transactions, 16);
+    }
+
+    #[test]
+    fn broadcast_combines_when_enabled() {
+        // Footnote-4 combining is available as a model option…
+        let mut c = cfg();
+        c.combine_duplicates = true;
+        let a = vec![0x1000u32; 16];
+        let r = coalesce_half_warp(&c, &lanes(&a));
+        assert!(!r.coalesced);
+        assert_eq!(r.transactions, 1);
+        assert_eq!(r.bytes, c.uncoalesced_txn_bytes as u64);
+    }
+
+    #[test]
+    fn broadcast_serializes_by_default() {
+        // …but the calibrated CC 1.0 default issues one transaction per
+        // active lane, duplicates included.
+        let a = vec![0x1000u32; 16];
+        let r = coalesce_half_warp(&cfg(), &lanes(&a));
+        assert_eq!(r.transactions, 16);
+    }
+
+    #[test]
+    fn inactive_half_warp_is_free() {
+        let r = coalesce_half_warp(&cfg(), &[None; 16]);
+        assert_eq!(r.transactions, 0);
+        assert_eq!(r.bytes, 0);
+    }
+
+    #[test]
+    fn bank_conflicts() {
+        let c = cfg();
+        // All 16 lanes hit distinct banks: degree 1.
+        let a: Vec<u32> = (0..16).map(|i| i * 4).collect();
+        assert_eq!(smem_conflict_degree(&c, &lanes(&a)), 1);
+        // Stride-2 words: 8 banks each hit by 2 distinct addrs: degree 2.
+        let a: Vec<u32> = (0..16).map(|i| i * 8).collect();
+        assert_eq!(smem_conflict_degree(&c, &lanes(&a)), 2);
+        // Stride-16 words: all in bank 0: degree 16.
+        let a: Vec<u32> = (0..16).map(|i| i * 64).collect();
+        assert_eq!(smem_conflict_degree(&c, &lanes(&a)), 16);
+        // Same address everywhere: broadcast, degree 1.
+        let a = vec![128u32; 16];
+        assert_eq!(smem_conflict_degree(&c, &lanes(&a)), 1);
+    }
+
+    #[test]
+    fn device_memory_rw_and_atomics() {
+        let m = DeviceMemory::new(1024);
+        m.write(0, Value::from_f32(1.5));
+        assert_eq!(m.read(0).as_f32(), 1.5);
+        m.write_slice(16, &[1, 2, 3]);
+        let mut out = [0u32; 3];
+        m.read_slice(16, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+
+        let old = m.atomic(g80_isa::AtomOp::Add, 16, Value::from_u32(10));
+        assert_eq!(old.as_u32(), 1);
+        assert_eq!(m.read(16).as_u32(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let m = DeviceMemory::new(64);
+        m.read(64);
+    }
+
+    #[test]
+    fn tag_cache_behaviour() {
+        let mut c = TagCache::new(128, 32); // 4 lines
+        assert!(!c.access(0)); // cold miss
+        assert!(c.access(4)); // same line
+        assert!(!c.access(128)); // maps to set 0, evicts
+        assert!(!c.access(0)); // conflict miss
+        c.flush();
+        assert!(!c.access(4));
+    }
+}

@@ -1,0 +1,369 @@
+//! Warp state: the SIMD reconvergence stack, per-lane registers, and the
+//! per-warp scoreboard.
+//!
+//! The GeForce 8800 executes 32-thread warps in SIMD fashion with a
+//! divergence stack: when a branch splits a warp, one path runs to the
+//! reconvergence point, then the other, then the full warp resumes
+//! (Section 3.2 / optimization principle 3). The scoreboard tracks when each
+//! architectural register's pending write completes, which is what lets
+//! independent instructions (and other warps) cover memory latency.
+
+use g80_isa::inst::{Operand, SpecialReg};
+use g80_isa::Value;
+
+/// Sentinel "no reconvergence point".
+pub const NO_RPC: u32 = u32::MAX;
+
+/// One entry of the divergence stack.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Next instruction index for this path.
+    pub pc: u32,
+    /// Reconvergence PC: when `pc == rpc`, the path has finished and pops.
+    pub rpc: u32,
+    /// Lanes executing this path.
+    pub mask: u32,
+}
+
+/// What produced a register's pending value (for stall attribution).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RegSource {
+    Alu,
+    Memory,
+}
+
+/// Per-warp execution state.
+pub struct Warp {
+    /// Divergence stack; the top entry is the executing path.
+    pub frames: Vec<Frame>,
+    /// Register file: `regs[r * 32 + lane]`.
+    pub regs: Vec<Value>,
+    /// Scoreboard: cycle at which each register's pending write lands.
+    pub reg_ready: Vec<u64>,
+    /// What kind of instruction produced each pending write.
+    pub reg_source: Vec<RegSource>,
+    /// Per-lane local (spill) memory, lazily grown, word-indexed.
+    pub local: Vec<Vec<Value>>,
+    /// Lanes that exist (partial warps at the end of a block have fewer).
+    pub init_mask: u32,
+    /// Parked at a barrier, waiting for the rest of the block.
+    pub at_barrier: bool,
+    /// Earliest cycle this warp may issue again (barrier pipeline drain).
+    pub resume_at: u64,
+    /// All lanes exited.
+    pub done: bool,
+    /// Per-lane (tid.x, tid.y, tid.z).
+    pub tids: Vec<(u32, u32, u32)>,
+    /// Block coordinates (ctaid.x, ctaid.y).
+    pub ctaid: (u32, u32),
+    /// Block dimensions.
+    pub ntid: (u32, u32, u32),
+    /// Grid dimensions.
+    pub nctaid: (u32, u32),
+}
+
+impl Warp {
+    /// Creates warp `warp_idx` of a block.
+    pub fn new(
+        warp_idx: u32,
+        nregs: u32,
+        block_dim: (u32, u32, u32),
+        ctaid: (u32, u32),
+        nctaid: (u32, u32),
+    ) -> Self {
+        let threads_per_block = block_dim.0 * block_dim.1 * block_dim.2;
+        let base = warp_idx * 32;
+        let mut mask = 0u32;
+        let mut tids = Vec::with_capacity(32);
+        for lane in 0..32 {
+            let lin = base + lane;
+            if lin < threads_per_block {
+                mask |= 1 << lane;
+                let tx = lin % block_dim.0;
+                let ty = (lin / block_dim.0) % block_dim.1;
+                let tz = lin / (block_dim.0 * block_dim.1);
+                tids.push((tx, ty, tz));
+            } else {
+                tids.push((0, 0, 0));
+            }
+        }
+        Warp {
+            frames: vec![Frame {
+                pc: 0,
+                rpc: NO_RPC,
+                mask,
+            }],
+            regs: vec![Value::ZERO; (nregs as usize) * 32],
+            reg_ready: vec![0; nregs as usize],
+            reg_source: vec![RegSource::Alu; nregs as usize],
+            local: vec![Vec::new(); 32],
+            init_mask: mask,
+            at_barrier: false,
+            resume_at: 0,
+            done: mask == 0,
+            tids,
+            ctaid,
+            ntid: block_dim,
+            nctaid,
+        }
+    }
+
+    /// Pops finished paths; afterwards the top frame (if any) is executable.
+    /// Returns false if the warp has fully retired.
+    pub fn settle(&mut self) -> bool {
+        while let Some(top) = self.frames.last() {
+            if top.mask == 0 || (top.rpc != NO_RPC && top.pc == top.rpc) {
+                self.frames.pop();
+            } else {
+                return true;
+            }
+        }
+        self.done = true;
+        false
+    }
+
+    /// Current PC (top frame). Call only after a successful [`Warp::settle`].
+    pub fn pc(&self) -> u32 {
+        self.frames.last().expect("retired warp has no pc").pc
+    }
+
+    /// Currently active lanes.
+    pub fn active_mask(&self) -> u32 {
+        self.frames.last().map_or(0, |f| f.mask)
+    }
+
+    /// Advances the top frame to the next sequential instruction.
+    pub fn advance(&mut self) {
+        self.frames.last_mut().unwrap().pc += 1;
+    }
+
+    /// Reads a register lane.
+    #[inline]
+    pub fn reg(&self, r: u32, lane: usize) -> Value {
+        self.regs[(r as usize) * 32 + lane]
+    }
+
+    /// Writes a register lane.
+    #[inline]
+    pub fn set_reg(&mut self, r: u32, lane: usize, v: Value) {
+        self.regs[(r as usize) * 32 + lane] = v;
+    }
+
+    /// Evaluates an operand for one lane.
+    pub fn operand(&self, op: Operand, lane: usize, params: &[Value]) -> Value {
+        match op {
+            Operand::Reg(r) => self.reg(r.0, lane),
+            Operand::Imm(v) => v,
+            Operand::Param(i) => params[i as usize],
+            Operand::Special(s) => {
+                let (tx, ty, tz) = self.tids[lane];
+                Value::from_u32(match s {
+                    SpecialReg::TidX => tx,
+                    SpecialReg::TidY => ty,
+                    SpecialReg::TidZ => tz,
+                    SpecialReg::NtidX => self.ntid.0,
+                    SpecialReg::NtidY => self.ntid.1,
+                    SpecialReg::NtidZ => self.ntid.2,
+                    SpecialReg::CtaidX => self.ctaid.0,
+                    SpecialReg::CtaidY => self.ctaid.1,
+                    SpecialReg::NctaidX => self.nctaid.0,
+                    SpecialReg::NctaidY => self.nctaid.1,
+                })
+            }
+        }
+    }
+
+    /// Applies a branch. `taken` must be a subset of the active mask.
+    /// Returns true if the warp diverged.
+    pub fn take_branch(&mut self, taken: u32, target: u32, reconv: u32, next_pc: u32) -> bool {
+        let top = self.frames.last_mut().unwrap();
+        let active = top.mask;
+        debug_assert_eq!(taken & !active, 0);
+        if taken == active {
+            top.pc = target;
+            false
+        } else if taken == 0 {
+            top.pc = next_pc;
+            false
+        } else {
+            // Divergence: the current frame becomes the reconvergence entry;
+            // the not-taken path runs after the taken path completes.
+            top.pc = reconv;
+            let not_taken = active & !taken;
+            self.frames.push(Frame {
+                pc: next_pc,
+                rpc: reconv,
+                mask: not_taken,
+            });
+            self.frames.push(Frame {
+                pc: target,
+                rpc: reconv,
+                mask: taken,
+            });
+            true
+        }
+    }
+
+    /// Retires `mask` lanes (they executed Exit): removes them from every
+    /// frame in the stack.
+    pub fn exit_lanes(&mut self, mask: u32) {
+        for f in &mut self.frames {
+            f.mask &= !mask;
+        }
+    }
+
+    /// Reads a local (per-thread) word, growing the backing store lazily.
+    pub fn local_read(&mut self, lane: usize, addr: u32) -> Value {
+        let idx = (addr / 4) as usize;
+        let mem = &mut self.local[lane];
+        if idx >= mem.len() {
+            mem.resize(idx + 1, Value::ZERO);
+        }
+        mem[idx]
+    }
+
+    /// Writes a local (per-thread) word.
+    pub fn local_write(&mut self, lane: usize, addr: u32, v: Value) {
+        let idx = (addr / 4) as usize;
+        let mem = &mut self.local[lane];
+        if idx >= mem.len() {
+            mem.resize(idx + 1, Value::ZERO);
+        }
+        mem[idx] = v;
+    }
+
+    /// Iterates active lanes of the current frame.
+    pub fn active_lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        let mask = self.active_mask();
+        (0..32).filter(move |l| (mask >> l) & 1 != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_warp() -> Warp {
+        Warp::new(0, 8, (32, 1, 1), (0, 0), (1, 1))
+    }
+
+    #[test]
+    fn partial_warp_mask() {
+        // 40-thread block: warp 1 has 8 active lanes.
+        let w = Warp::new(1, 4, (40, 1, 1), (0, 0), (1, 1));
+        assert_eq!(w.init_mask, 0xff);
+        assert!(!w.done);
+        // warp 1 lane 0 is thread 32.
+        assert_eq!(w.tids[0], (32, 0, 0));
+    }
+
+    #[test]
+    fn empty_warp_is_done() {
+        let w = Warp::new(2, 4, (40, 1, 1), (0, 0), (1, 1));
+        assert!(w.done);
+    }
+
+    #[test]
+    fn tid_decomposition_2d() {
+        let w = Warp::new(0, 4, (16, 16, 1), (3, 5), (8, 8));
+        // lane 17 = thread 17 = (1, 1, 0) in a 16-wide block.
+        assert_eq!(w.tids[17], (1, 1, 0));
+        assert_eq!(w.ctaid, (3, 5));
+    }
+
+    #[test]
+    fn uniform_branch_no_divergence() {
+        let mut w = full_warp();
+        let all = w.active_mask();
+        assert!(!w.take_branch(all, 10, 20, 1));
+        assert_eq!(w.pc(), 10);
+        assert_eq!(w.frames.len(), 1);
+
+        assert!(!w.take_branch(0, 30, 40, 11));
+        assert_eq!(w.pc(), 11);
+    }
+
+    #[test]
+    fn divergent_branch_runs_taken_then_fallthrough_then_reconverges() {
+        let mut w = full_warp();
+        let taken = 0x0000ffff;
+        assert!(w.take_branch(taken, 10, 50, 1));
+        // Taken path on top.
+        assert!(w.settle());
+        assert_eq!(w.pc(), 10);
+        assert_eq!(w.active_mask(), taken);
+        // Taken path reaches the reconvergence point.
+        w.frames.last_mut().unwrap().pc = 50;
+        assert!(w.settle());
+        assert_eq!(w.pc(), 1); // fallthrough path
+        assert_eq!(w.active_mask(), 0xffff0000);
+        // Fallthrough path reaches reconvergence.
+        w.frames.last_mut().unwrap().pc = 50;
+        assert!(w.settle());
+        assert_eq!(w.pc(), 50);
+        assert_eq!(w.active_mask(), 0xffffffffu32);
+        assert_eq!(w.frames.len(), 1);
+    }
+
+    #[test]
+    fn nested_divergence() {
+        let mut w = full_warp();
+        w.take_branch(0x0000ffff, 10, 100, 1);
+        w.settle();
+        // Inner divergence within the taken path.
+        assert!(w.take_branch(0x000000ff, 20, 90, 11));
+        w.settle();
+        assert_eq!(w.active_mask(), 0x000000ff);
+        w.frames.last_mut().unwrap().pc = 90;
+        w.settle();
+        assert_eq!(w.active_mask(), 0x0000ff00);
+        w.frames.last_mut().unwrap().pc = 90;
+        w.settle();
+        // Inner reconverged: the outer taken path resumes at the inner
+        // reconvergence point with its full mask.
+        assert_eq!(w.active_mask(), 0x0000ffff);
+        assert_eq!(w.pc(), 90);
+        assert_eq!(w.frames.last().unwrap().rpc, 100);
+    }
+
+    #[test]
+    fn exit_retires_lanes_everywhere() {
+        let mut w = full_warp();
+        w.take_branch(0x0000ffff, 10, 50, 1);
+        w.settle();
+        // Taken lanes exit inside the divergent region.
+        w.exit_lanes(0x0000ffff);
+        assert!(w.settle());
+        // Fallthrough path still runs.
+        assert_eq!(w.active_mask(), 0xffff0000);
+        w.exit_lanes(0xffff0000);
+        assert!(!w.settle());
+        assert!(w.done);
+    }
+
+    #[test]
+    fn local_memory_is_per_lane() {
+        let mut w = full_warp();
+        w.local_write(3, 8, Value::from_u32(42));
+        assert_eq!(w.local_read(3, 8).as_u32(), 42);
+        assert_eq!(w.local_read(4, 8).as_u32(), 0);
+    }
+
+    #[test]
+    fn operand_specials() {
+        let w = Warp::new(0, 4, (16, 4, 1), (2, 7), (10, 20));
+        use g80_isa::inst::Operand as O;
+        assert_eq!(
+            w.operand(O::Special(SpecialReg::CtaidX), 0, &[]).as_u32(),
+            2
+        );
+        assert_eq!(
+            w.operand(O::Special(SpecialReg::NctaidY), 0, &[]).as_u32(),
+            20
+        );
+        assert_eq!(w.operand(O::Special(SpecialReg::TidY), 16, &[]).as_u32(), 1);
+        assert_eq!(w.operand(O::imm_f(1.5), 0, &[]).as_f32(), 1.5);
+        let params = [Value::from_u32(99)];
+        assert_eq!(w.operand(O::Param(0), 5, &params).as_u32(), 99);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests over *structured* random kernels (loops, divergent
+//! branches, accumulators): the same program must produce identical global
+//! memory output no matter how it was compiled (O0 vs O2, register-capped
+//! and spilled vs not) or which machine ran it (16 SMs vs 1 SM, with or
+//! without SM-level host parallelism).
+//!
+//! This is the harness that would have caught the branch-into-spill-reload
+//! bug fixed in `g80-isa::regalloc` (targets must land on the first reload).
+
+use g80_isa::builder::{BuildOptions, KernelBuilder, Unroll};
+use g80_isa::inst::{AluOp, CmpOp, Operand, Pred, Scalar, SfuOp, UnOp};
+use g80_isa::{Kernel, OptLevel, Value};
+use g80_sim::{launch, DeviceMemory, GpuConfig, LaunchDims};
+use proptest::prelude::*;
+
+/// A recipe for one random structured kernel.
+#[derive(Clone, Debug)]
+struct Recipe {
+    /// Straight-line op selectors for the loop body.
+    body_ops: Vec<u8>,
+    /// Loop trip count (0 = no loop).
+    trips: u32,
+    /// Unroll directive selector.
+    unroll_sel: u8,
+    /// Number of live accumulators.
+    accs: usize,
+    /// Whether to include a tid-divergent if/else.
+    diverge: bool,
+    /// Threshold for the divergent branch.
+    threshold: u32,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (
+        prop::collection::vec(0u8..12, 1..10),
+        0u32..6,
+        0u8..3,
+        1usize..5,
+        any::<bool>(),
+        0u32..64,
+    )
+        .prop_map(|(body_ops, trips, unroll_sel, accs, diverge, threshold)| Recipe {
+            body_ops,
+            trips,
+            unroll_sel,
+            accs,
+            diverge,
+            threshold,
+        })
+}
+
+/// Builds the kernel for a recipe. Every thread reads one input word and
+/// writes one output word; all arithmetic flows through the accumulators so
+/// nothing is dead.
+fn build(recipe: &Recipe, opt: OptLevel, max_regs: Option<u32>) -> Kernel {
+    let mut b = KernelBuilder::new("prop");
+    let (inp, outp) = (b.param(), b.param());
+    let tid = b.tid_x();
+    let ntid = b.ntid_x();
+    let cta = b.ctaid_x();
+    let gtid = b.imad(cta, ntid, tid);
+    let byte = b.shl(gtid, 2u32);
+    let ia = b.iadd(byte, inp);
+    let x = b.ld_global(ia, 0);
+
+    let accs: Vec<_> = (0..recipe.accs)
+        .map(|k| {
+            let f = b.un(UnOp::CvtU2F, gtid);
+            b.fadd(f, Operand::imm_f(k as f32 * 0.25 + 0.5))
+        })
+        .collect();
+
+    let emit_body = |b: &mut KernelBuilder, i: Operand| {
+        let fi = b.un(UnOp::CvtU2F, i);
+        for (j, &op) in recipe.body_ops.iter().enumerate() {
+            let acc = accs[j % accs.len()];
+            let other = accs[(j + 1) % accs.len()];
+            match op {
+                0 => b.ffma_to(acc, x, Operand::imm_f(0.5), acc),
+                1 => b.ffma_to(acc, fi, Operand::imm_f(0.25), acc),
+                2 => b.alu_to(AluOp::FAdd, acc, acc, other),
+                3 => b.alu_to(AluOp::FSub, acc, acc, Operand::imm_f(0.125)),
+                4 => b.alu_to(AluOp::FMul, acc, acc, Operand::imm_f(0.75)),
+                5 => {
+                    let t = b.sfu(SfuOp::Rcp, other);
+                    let c = b.alu(AluOp::FMin, t, Operand::imm_f(8.0));
+                    let c = b.alu(AluOp::FMax, c, Operand::imm_f(-8.0));
+                    b.alu_to(AluOp::FAdd, acc, acc, c);
+                }
+                6 => b.alu_to(AluOp::FMax, acc, acc, other),
+                7 => b.alu_to(AluOp::FMin, acc, acc, Operand::Reg(fi)),
+                8 => {
+                    let t = b.fmul(other, Operand::imm_f(0.5));
+                    b.alu_to(AluOp::FAdd, acc, acc, t);
+                }
+                9 => {
+                    let p = b.setp(CmpOp::Lt, Scalar::F32, acc, other);
+                    let s = b.sel(p, Operand::imm_f(0.25), Operand::imm_f(0.5));
+                    b.alu_to(AluOp::FAdd, acc, acc, s);
+                }
+                10 => b.ffma_to(acc, acc, Operand::imm_f(0.875), Operand::Reg(x)),
+                _ => {
+                    let t = b.un(UnOp::FAbs, acc);
+                    b.mov_to(acc, t);
+                }
+            }
+        }
+    };
+
+    let do_loop = |b: &mut KernelBuilder| {
+        if recipe.trips == 0 {
+            emit_body(b, Operand::imm_u(0));
+        } else {
+            let unroll = match recipe.unroll_sel {
+                0 => Unroll::None,
+                1 => Unroll::Full,
+                _ if recipe.trips.is_multiple_of(2) => Unroll::By(2),
+                _ => Unroll::None,
+            };
+            b.for_range(0u32, recipe.trips, 1, unroll, |b, i| emit_body(b, i));
+        }
+    };
+
+    if recipe.diverge {
+        let lane = b.and(tid, 31u32);
+        let p = b.setp(CmpOp::Lt, Scalar::U32, lane, recipe.threshold);
+        let pr = Pred::if_true(p);
+        b.if_else(
+            pr,
+            |b| do_loop(b),
+            |b| {
+                for &acc in &accs {
+                    b.alu_to(AluOp::FMul, acc, acc, Operand::imm_f(1.5));
+                }
+            },
+        );
+    } else {
+        do_loop(&mut b);
+    }
+
+    let mut total = accs[0];
+    for &a in &accs[1..] {
+        total = b.fadd(total, a);
+    }
+    let oa = b.iadd(byte, outp);
+    b.st_global(oa, 0, total);
+    b.build_with(BuildOptions { opt, max_regs })
+}
+
+const N: u32 = 256;
+
+fn run(k: &Kernel, cfg: &GpuConfig) -> Vec<u32> {
+    let mem = DeviceMemory::new(2 * N * 4 + 64);
+    for i in 0..N {
+        mem.write(i * 4, Value::from_f32((i % 17) as f32 * 0.3 - 2.0));
+    }
+    launch(
+        cfg,
+        k,
+        LaunchDims {
+            grid: (N / 64, 1),
+            block: (64, 1, 1),
+        },
+        &[Value::from_u32(0), Value::from_u32(N * 4)],
+        &mem,
+    )
+    .expect("launch");
+    let mut out = vec![0u32; N as usize];
+    mem.read_slice(N * 4, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// O0 and O2 builds of the same structured kernel agree bit-for-bit.
+    #[test]
+    fn optimization_levels_agree(recipe in arb_recipe()) {
+        let cfg = GpuConfig::geforce_8800_gtx();
+        let k0 = build(&recipe, OptLevel::O0, None);
+        let k2 = build(&recipe, OptLevel::O2, None);
+        prop_assert_eq!(run(&k0, &cfg), run(&k2, &cfg));
+    }
+
+    /// Register-capped (spilled) builds agree with unconstrained builds,
+    /// including through loops and divergence.
+    #[test]
+    fn spilling_preserves_semantics(recipe in arb_recipe(), cap in 4u32..8) {
+        let cfg = GpuConfig::geforce_8800_gtx();
+        let free = build(&recipe, OptLevel::O2, None);
+        let capped = build(&recipe, OptLevel::O2, Some(cap));
+        prop_assert!(capped.regs_per_thread <= free.regs_per_thread.max(cap));
+        prop_assert_eq!(run(&free, &cfg), run(&capped, &cfg));
+    }
+
+    /// The machine shape (1 SM vs 16 SMs, different block residency) never
+    /// changes functional results.
+    #[test]
+    fn machine_shape_is_functionally_invisible(recipe in arb_recipe()) {
+        let k = build(&recipe, OptLevel::O2, None);
+        let gtx = GpuConfig::geforce_8800_gtx();
+        let mut single = GpuConfig::geforce_8800_gtx();
+        single.num_sms = 1;
+        single.max_blocks_per_sm = 2;
+        prop_assert_eq!(run(&k, &gtx), run(&k, &single));
+    }
+}

@@ -1,0 +1,85 @@
+//! The resource-balancing act of optimization principle 2, interactively:
+//! an occupancy table in the spirit of NVIDIA's occupancy-calculator
+//! spreadsheet, computed for the simulated GeForce 8800 and verified
+//! against a real kernel launch.
+//!
+//! ```sh
+//! cargo run --release --example occupancy_explorer
+//! ```
+
+use g80::apps::matmul::{MatMul, Variant};
+use g80::sim::GpuConfig;
+use g80::tune::{kernel_occupancy, occupancy, LimitingResource};
+
+fn main() {
+    let cfg = GpuConfig::geforce_8800_gtx();
+
+    println!("GeForce 8800 GTX occupancy table");
+    println!(
+        "(per SM: {} threads, {} blocks, {} registers, {} KB shared)\n",
+        cfg.max_threads_per_sm,
+        cfg.max_blocks_per_sm,
+        cfg.registers_per_sm,
+        cfg.smem_per_sm / 1024
+    );
+
+    // Occupancy vs block size at several register pressures (no smem).
+    print!("{:>10} |", "block");
+    for regs in [8u32, 10, 11, 16, 24, 32] {
+        print!(" {regs:>4} regs |");
+    }
+    println!();
+    for tpb in [32u32, 64, 96, 128, 192, 256, 384, 512] {
+        print!("{tpb:>10} |");
+        for regs in [8u32, 10, 11, 16, 24, 32] {
+            let o = occupancy(&cfg, regs, 0, tpb);
+            print!(" {:>8.0}% |", o.occupancy * 100.0);
+        }
+        println!();
+    }
+
+    println!("\nThe Section 4.2 cliff, in one row: 256-thread blocks go from");
+    for regs in [10u32, 11] {
+        let o = occupancy(&cfg, regs, 0, 256);
+        println!(
+            "  {} regs -> {} blocks/SM, {:>3.0}% occupancy (limited by {:?})",
+            regs,
+            o.blocks_per_sm,
+            o.occupancy * 100.0,
+            o.limiter
+        );
+    }
+
+    // Shared memory as the limiter.
+    println!("\nShared memory pressure at 128-thread / 8-register blocks:");
+    for smem_kb in [1u32, 2, 4, 6, 8, 16] {
+        let o = occupancy(&cfg, 8, smem_kb * 1024, 128);
+        println!(
+            "  {:>2} KB/block -> {} blocks/SM ({:?})",
+            smem_kb, o.blocks_per_sm, o.limiter
+        );
+    }
+
+    // A real kernel, cross-checked against the launch-time scheduler.
+    println!("\nCross-check on the real tiled matmul kernel:");
+    let mm = MatMul { n: 128 };
+    let v = Variant::Tiled {
+        tile: 16,
+        unroll: true,
+    };
+    let k = mm.kernel(v);
+    let predicted = kernel_occupancy(&cfg, &k, 256);
+    let (a, b) = mm.generate(0);
+    let (_, stats, _) = mm.run(v, &a, &b);
+    println!(
+        "  {}: {} regs, {} B smem -> calculator says {} blocks/SM, scheduler ran {}",
+        v.label(),
+        k.regs_per_thread,
+        k.smem_bytes,
+        predicted.blocks_per_sm,
+        stats.blocks_per_sm
+    );
+    assert_eq!(predicted.blocks_per_sm, stats.blocks_per_sm);
+    assert_eq!(predicted.limiter, LimitingResource::ThreadContexts);
+    println!("  agreement confirmed.");
+}

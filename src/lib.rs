@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the whole G80 reproduction workspace.
+pub use g80_apps as apps;
+pub use g80_core as tune;
+pub use g80_cuda as cuda;
+pub use g80_isa as isa;
+pub use g80_sim as sim;
