@@ -173,7 +173,10 @@ mod tests {
                 launch(
                     &GpuConfig::geforce_8800_gtx(),
                     &k,
-                    LaunchDims { grid: (1, 1), block: (32, 1, 1) },
+                    LaunchDims {
+                        grid: (1, 1),
+                        block: (32, 1, 1),
+                    },
                     &[Value::from_u32(0)],
                     &mem,
                 )

@@ -144,7 +144,10 @@ impl CoulombicPotential {
     /// Runs on a fresh device.
     pub fn run(&self, atoms: &[Atom], unroll: bool) -> (Vec<f32>, KernelStats, Timeline) {
         let g = self.grid;
-        assert!(g > 0 && g % 16 == 0, "grid must be a positive multiple of 16");
+        assert!(
+            g > 0 && g.is_multiple_of(16),
+            "grid must be a positive multiple of 16"
+        );
         let mut dev = Device::new(g * g * 4 + 4096);
         // Pre-square z on the host, as the CUDA port did.
         let cdata: Vec<f32> = atoms
@@ -229,10 +232,6 @@ mod tests {
         assert!(r.max_rel_error < 2e-4);
         // Compute-bound with SFU-heavy inner loop: large speedup expected
         // (paper puts CP among the top performers).
-        assert!(
-            r.kernel_speedup() > 20.0,
-            "speedup {}",
-            r.kernel_speedup()
-        );
+        assert!(r.kernel_speedup() > 20.0, "speedup {}", r.kernel_speedup());
     }
 }

@@ -147,7 +147,10 @@ impl Fem {
     /// Runs `sweeps` kernel launches (ping-pong buffers).
     pub fn run(&self, m: &Mesh) -> (Vec<f32>, KernelStats, Timeline) {
         let n = self.n_nodes;
-        assert!(n > 0 && n % TPB == 0, "n_nodes must be a positive multiple of the block size");
+        assert!(
+            n > 0 && n.is_multiple_of(TPB),
+            "n_nodes must be a positive multiple of the block size"
+        );
         let edges = (n * DEGREE) as usize;
         let mut dev = Device::new(2 * n * 4 + edges as u32 * 8 + 8192);
         let da = dev.alloc::<f32>(n as usize);

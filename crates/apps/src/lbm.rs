@@ -193,10 +193,7 @@ impl Lbm {
                 }
             };
             let inner = match eu {
-                None => {
-                    
-                    b.ffma(usq, Operand::imm_f(-1.5), Operand::imm_f(1.0))
-                }
+                None => b.ffma(usq, Operand::imm_f(-1.5), Operand::imm_f(1.0)),
                 Some(eu) => {
                     let t = b.ffma(eu, Operand::imm_f(3.0), Operand::imm_f(1.0));
                     let eu2 = b.fmul(eu, eu);
@@ -412,7 +409,11 @@ impl Lbm {
             bufs.swap(0, 1);
         }
         let raw = dev.copy_from_device(bufs[0]);
-        (self.layout_to_soa(&raw, layout), agg.unwrap(), dev.timeline())
+        (
+            self.layout_to_soa(&raw, layout),
+            agg.unwrap(),
+            dev.timeline(),
+        )
     }
 
     /// Table 2/3 record (uses the fully optimized layout).

@@ -8,15 +8,15 @@
 pub mod common;
 pub mod cp;
 pub mod fdtd;
+pub mod fem;
 pub mod lbm;
 pub mod matmul;
 pub mod mrifhd;
 pub mod mriq;
-pub mod fem;
 pub mod pns;
 pub mod primitives;
+pub mod rc5;
 pub mod rpes;
 pub mod sad;
-pub mod tpacf;
-pub mod rc5;
 pub mod saxpy;
+pub mod tpacf;

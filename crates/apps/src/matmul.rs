@@ -60,7 +60,10 @@ impl Variant {
     pub fn label(&self) -> String {
         match *self {
             Variant::Naive => "not tiled".into(),
-            Variant::Tiled { tile, unroll: false } => format!("{tile}x{tile} tiled"),
+            Variant::Tiled {
+                tile,
+                unroll: false,
+            } => format!("{tile}x{tile} tiled"),
             Variant::Tiled { tile, unroll: true } => format!("{tile}x{tile} tiled+unrolled"),
             Variant::Prefetch { tile } => format!("{tile}x{tile} tiled+unrolled+prefetch"),
             Variant::RegTiled { tile } => format!("{tile}x{tile} tiled+register tiling"),
@@ -152,7 +155,7 @@ impl MatMul {
         let an = b.imad(row0, n, tx);
         let ab = b.shl(an, 2u32);
         let a_addr = b.iadd(ab, pa); // row0's element; row1 at +n*4
-        // B[m*t + 2ty..][col]:
+                                     // B[m*t + 2ty..][col]:
         let bn = b.imad(ty2, n, col);
         let bb = b.shl(bn, 2u32);
         let b_addr = b.iadd(bb, pb);
@@ -243,7 +246,10 @@ impl MatMul {
     /// As[t][t] at byte 0 and Bs[t][t] at byte t*t*4.
     fn tiled_kernel(&self, t: u32, unroll: bool, prefetch: bool) -> Kernel {
         let n = self.n;
-        assert!(n.is_multiple_of(t), "matrix size {n} not divisible by tile {t}");
+        assert!(
+            n.is_multiple_of(t),
+            "matrix size {n} not divisible by tile {t}"
+        );
         let ntiles = n / t;
         let name = match (unroll, prefetch) {
             (false, _) => format!("mmul_tiled{t}"),
@@ -357,7 +363,12 @@ impl MatMul {
     }
 
     /// Runs a variant on a fresh device; returns (C, kernel stats, timeline).
-    pub fn run(&self, variant: Variant, a: &[f32], bm: &[f32]) -> (Vec<f32>, KernelStats, Timeline) {
+    pub fn run(
+        &self,
+        variant: Variant,
+        a: &[f32],
+        bm: &[f32],
+    ) -> (Vec<f32>, KernelStats, Timeline) {
         let n = self.n;
         let elems = (n * n) as usize;
         assert_eq!(a.len(), elems);
@@ -397,11 +408,7 @@ mod tests {
         let want = mm.cpu_reference(&a, &b);
         let (got, stats, _) = mm.run(v, &a, &b);
         let err = max_rel_error(&got, &want);
-        assert!(
-            err < 1e-5,
-            "{}: max rel error {err}",
-            v.label()
-        );
+        assert!(err < 1e-5, "{}: max rel error {err}", v.label());
         assert!(stats.flops >= 2 * (n as u64).pow(3));
     }
 
@@ -413,7 +420,13 @@ mod tests {
     #[test]
     fn tiled_matches_reference_all_tile_sizes() {
         for tile in [4u32, 8, 16] {
-            check_variant(64, Variant::Tiled { tile, unroll: false });
+            check_variant(
+                64,
+                Variant::Tiled {
+                    tile,
+                    unroll: false,
+                },
+            );
             check_variant(64, Variant::Tiled { tile, unroll: true });
         }
         // 12x12 tiles need a 12-divisible size.
@@ -438,7 +451,14 @@ mod tests {
         // 2 FMAs per Bs load raises the issue-bound roofline.
         let mm = MatMul { n: 128 };
         let (a, b) = mm.generate(9);
-        let (_, unrolled, _) = mm.run(Variant::Tiled { tile: 16, unroll: true }, &a, &b);
+        let (_, unrolled, _) = mm.run(
+            Variant::Tiled {
+                tile: 16,
+                unroll: true,
+            },
+            &a,
+            &b,
+        );
         let (_, regtiled, _) = mm.run(Variant::RegTiled { tile: 16 }, &a, &b);
         assert!(
             regtiled.gflops() > 1.05 * unrolled.gflops(),

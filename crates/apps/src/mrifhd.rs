@@ -138,7 +138,10 @@ impl MriFhd {
     /// Runs on a fresh device.
     pub fn run(&self, d: &FhdData) -> (Vec<f32>, Vec<f32>, KernelStats, Timeline) {
         let nv = self.n_voxels;
-        assert!(nv > 0 && nv % 256 == 0, "n_voxels must be a positive multiple of 256");
+        assert!(
+            nv > 0 && nv.is_multiple_of(256),
+            "n_voxels must be a positive multiple of 256"
+        );
         let mut dev = Device::new(nv * 5 * 4 + 8192);
         let dx = dev.alloc::<f32>(nv as usize);
         let dy = dev.alloc::<f32>(nv as usize);

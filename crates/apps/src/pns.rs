@@ -111,10 +111,7 @@ impl Pns {
         let gtid = common::global_tid_x(&mut b);
 
         // Marking in registers.
-        let m: Vec<_> = M0
-            .iter()
-            .map(|&v| b.mov(Operand::imm_u(v)))
-            .collect();
+        let m: Vec<_> = M0.iter().map(|&v| b.mov(Operand::imm_u(v))).collect();
         // rng = tid * 0x9e3779b9 ^ 0xdeadbeef
         let h = b.imul(gtid, 0x9e37_79b9u32);
         let rng = b.xor(h, 0xdead_beefu32);
@@ -182,7 +179,7 @@ impl Pns {
     /// Runs on a fresh device; returns all snapshot streams.
     pub fn run(&self) -> (Vec<u32>, KernelStats, Timeline) {
         assert!(
-            self.n_threads > 0 && self.n_threads % 128 == 0,
+            self.n_threads > 0 && self.n_threads.is_multiple_of(128),
             "n_threads must be a positive multiple of the 128-thread block"
         );
         assert!(
@@ -196,7 +193,12 @@ impl Pns {
         let dout = dev.alloc::<u32>(total);
         let k = self.kernel();
         let stats = dev
-            .launch(&k, (self.n_threads / 128, 1), (128, 1, 1), &[dout.as_param()])
+            .launch(
+                &k,
+                (self.n_threads / 128, 1),
+                (128, 1, 1),
+                &[dout.as_param()],
+            )
             .expect("pns launch");
         let out = dev.copy_from_device(&dout);
         (out, stats, dev.timeline())

@@ -266,10 +266,7 @@ mod tests {
         let buf = dev.alloc::<f32>(n);
         dev.copy_to_device(&buf, &data);
         let got = reduce_sum(&mut dev, &buf) as f64;
-        assert!(
-            (got - want).abs() < 0.05,
-            "reduce {got} vs host {want}"
-        );
+        assert!((got - want).abs() < 0.05, "reduce {got} vs host {want}");
     }
 
     #[test]
@@ -311,10 +308,7 @@ mod tests {
         let y = dev.copy_from_device(&dy);
         let mut acc = 0.0f64;
         for (i, &got) in y.iter().enumerate() {
-            assert!(
-                (got as f64 - acc).abs() < 1e-3,
-                "scan[{i}] {got} vs {acc}"
-            );
+            assert!((got as f64 - acc).abs() < 1e-3, "scan[{i}] {got} vs {acc}");
             acc += x[i] as f64;
         }
     }
@@ -333,11 +327,7 @@ mod tests {
                     k,
                     (n / TPB, 1),
                     (TPB, 1, 1),
-                    &[
-                        buf.as_param(),
-                        out.as_param(),
-                        g80_isa::Value::from_u32(n),
-                    ],
+                    &[buf.as_param(), out.as_param(), g80_isa::Value::from_u32(n)],
                 )
                 .unwrap();
             (dev.copy_from_device(&out), stats)

@@ -174,7 +174,10 @@ impl Rc5 {
     /// Runs the search; returns per-key ciphertexts.
     pub fn run(&self, native_rotate: bool) -> (Vec<(u32, u32)>, KernelStats, Timeline) {
         let n = self.n_keys;
-        assert!(n > 0 && n % 64 == 0, "n_keys must be a positive multiple of 64");
+        assert!(
+            n > 0 && n.is_multiple_of(64),
+            "n_keys must be a positive multiple of 64"
+        );
         assert!(
             (self.base_key as u32).checked_add(n - 1).is_some(),
             "key range must not carry into the high word"

@@ -20,6 +20,8 @@ use g80_sim::KernelStats;
 const ORDER: usize = 12;
 /// Newton refinement steps.
 const NEWTON: usize = 4;
+/// Saturation bound for the quadrature weight (see [`rys_point`]).
+const WEIGHT_CAP: f32 = 1e3;
 
 /// The RPES workload: `n` integral parameters in (0, 1).
 #[derive(Copy, Clone, Debug)]
@@ -66,8 +68,12 @@ pub fn rys_point(t: f32) -> (f32, f32) {
         x -= q * (1.0 / (dp + 1e-12));
         x = x.clamp(-0.9999, 0.9999);
     }
-    // Weight: 2 / ((1-x^2) P'^2), Gaussian-attenuated by exp2(-t^2).
-    let w = 2.0 * (1.0 / ((1.0 - x * x) * dp * dp + 1e-12)) * (-(t * t)).exp2();
+    // Weight: 2 / ((1-x^2) P'^2), Gaussian-attenuated by exp2(-t^2). True
+    // Gauss-Legendre weights are bounded (< 1), so a huge value only arises
+    // when Newton stalled near an extremum (dp ~ 0) and the quotient is
+    // ill-conditioned; saturating at WEIGHT_CAP (mirrored in the kernel)
+    // keeps those degenerate points from dominating accuracy metrics.
+    let w = (2.0 * (1.0 / ((1.0 - x * x) * dp * dp + 1e-12)) * (-(t * t)).exp2()).min(WEIGHT_CAP);
     let _ = p;
     (x, w)
 }
@@ -162,7 +168,8 @@ impl Rpes {
         let t2 = b.fmul(t, t);
         let nt2 = b.un(g80_isa::UnOp::FNeg, t2);
         let att = b.sfu(SfuOp::Ex2, nt2);
-        let w = b.fmul(w0, att);
+        let wraw = b.fmul(w0, att);
+        let w = b.alu(g80_isa::AluOp::FMin, wraw, Operand::imm_f(WEIGHT_CAP));
 
         // Outputs in two planes (roots then weights) so both stores
         // coalesce; interleaving them would stride every store by two words.
@@ -175,14 +182,22 @@ impl Rpes {
     /// Runs on a fresh device; output interleaves (root, weight).
     pub fn run(&self, ts: &[f32]) -> (Vec<f32>, KernelStats, Timeline) {
         let n = self.n;
-        assert!(n > 0 && n % 128 == 0, "element count must be a positive multiple of 128");
+        assert!(
+            n > 0 && n.is_multiple_of(128),
+            "element count must be a positive multiple of 128"
+        );
         let mut dev = Device::new(3 * n * 4 + 4096);
         let din = dev.alloc::<f32>(n as usize);
         let dout = dev.alloc::<f32>(2 * n as usize);
         dev.copy_to_device(&din, ts);
         let k = self.kernel();
         let stats = dev
-            .launch(&k, (n / 128, 1), (128, 1, 1), &[din.as_param(), dout.as_param()])
+            .launch(
+                &k,
+                (n / 128, 1),
+                (128, 1, 1),
+                &[din.as_param(), dout.as_param()],
+            )
             .expect("rpes launch");
         let planes = dev.copy_from_device(&dout);
         // Re-interleave (root, weight) to match the reference layout.

@@ -234,7 +234,11 @@ impl SadApp {
         dev.copy_to_device(&dref, reff);
         dev.bind_texture(&dref);
 
-        let k = self.kernel(if use_texture { Space::Tex } else { Space::Global });
+        let k = self.kernel(if use_texture {
+            Space::Tex
+        } else {
+            Space::Global
+        });
         let stats = dev
             .launch(
                 &k,

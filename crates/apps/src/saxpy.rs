@@ -73,7 +73,10 @@ impl Saxpy {
     /// Runs on a fresh device; returns (y', stats, timeline).
     pub fn run(&self, x: &[f32], y: &[f32]) -> (Vec<f32>, KernelStats, Timeline) {
         let n = self.n;
-        assert!(n > 0 && n % 256 == 0, "element count must be a positive multiple of 256");
+        assert!(
+            n > 0 && n.is_multiple_of(256),
+            "element count must be a positive multiple of 256"
+        );
         let mut dev = Device::new(2 * n * 4 + 4096);
         let dx = dev.alloc::<f32>(n as usize);
         let dy = dev.alloc::<f32>(n as usize);

@@ -223,7 +223,10 @@ impl Tpacf {
     /// overflow slot counts pairs closer than the last edge).
     pub fn run(&self, d: &SkyData) -> (Vec<u32>, KernelStats, Timeline) {
         let n = self.n;
-        assert!(n > 0 && n % TPB == 0, "point count must be a positive multiple of the tile size");
+        assert!(
+            n > 0 && n.is_multiple_of(TPB),
+            "point count must be a positive multiple of the tile size"
+        );
         let mut dev = Device::new(n * 12 + 4096);
         let dx = dev.alloc::<f32>(n as usize);
         let dy = dev.alloc::<f32>(n as usize);
@@ -241,12 +244,7 @@ impl Tpacf {
                 &k,
                 (n / TPB, 1),
                 (TPB, 1, 1),
-                &[
-                    dx.as_param(),
-                    dy.as_param(),
-                    dz.as_param(),
-                    dh.as_param(),
-                ],
+                &[dx.as_param(), dy.as_param(), dz.as_param(), dh.as_param()],
             )
             .expect("tpacf launch");
         let hist = dev.copy_from_device(&dh);
@@ -294,8 +292,7 @@ mod tests {
         let (_, stats, _) = t.run(&d);
         // The histogram update addressing was designed for bank = tid%16:
         // the only conflicts tolerated are from the (tiny) merge phase.
-        let frac = stats.smem_conflict_extra_cycles as f64
-            / (stats.cycles * 16).max(1) as f64;
+        let frac = stats.smem_conflict_extra_cycles as f64 / (stats.cycles * 16).max(1) as f64;
         assert!(frac < 0.02, "conflict fraction {frac}");
     }
 

@@ -10,23 +10,39 @@ fn bench_apps(c: &mut Criterion) {
     let mut group = c.benchmark_group("suite");
     group.sample_size(10);
 
-    let s = saxpy::Saxpy { n: 1 << 17, alpha: 2.0 };
+    let s = saxpy::Saxpy {
+        n: 1 << 17,
+        alpha: 2.0,
+    };
     let (x, y) = s.generate(1);
     group.bench_function("saxpy", |b| b.iter(|| s.run(&x, &y).1.cycles));
 
-    let m = mriq::MriQ { n_voxels: 2048, n_k: 128 };
+    let m = mriq::MriQ {
+        n_voxels: 2048,
+        n_k: 128,
+    };
     let d = m.generate(2);
     group.bench_function("mriq", |b| b.iter(|| m.run(&d, true).2.cycles));
 
-    let m2 = mrifhd::MriFhd { n_voxels: 2048, n_k: 128 };
+    let m2 = mrifhd::MriFhd {
+        n_voxels: 2048,
+        n_k: 128,
+    };
     let d2 = m2.generate(3);
     group.bench_function("mrifhd", |b| b.iter(|| m2.run(&d2).2.cycles));
 
-    let cpw = cp::CoulombicPotential { grid: 64, n_atoms: 64, spacing: 0.5 };
+    let cpw = cp::CoulombicPotential {
+        grid: 64,
+        n_atoms: 64,
+        spacing: 0.5,
+    };
     let atoms = cpw.generate(4);
     group.bench_function("cp", |b| b.iter(|| cpw.run(&atoms, true).1.cycles));
 
-    let r = rc5::Rc5 { n_keys: 2048, ..Default::default() };
+    let r = rc5::Rc5 {
+        n_keys: 2048,
+        ..Default::default()
+    };
     group.bench_function("rc5", |b| b.iter(|| r.run(false).1.cycles));
 
     let t = tpacf::Tpacf { n: 512 };
@@ -43,14 +59,24 @@ fn bench_apps(c: &mut Criterion) {
     let fields = f.initial_state();
     group.bench_function("fdtd", |b| b.iter(|| f.run(&fields).1.cycles));
 
-    let p = pns::Pns { n_threads: 2048, steps: 64, snap_every: 32 };
+    let p = pns::Pns {
+        n_threads: 2048,
+        steps: 64,
+        snap_every: 32,
+    };
     group.bench_function("pns", |b| b.iter(|| p.run().1.cycles));
 
-    let sd = sad::SadApp { width: 64, height: 48 };
+    let sd = sad::SadApp {
+        width: 64,
+        height: 48,
+    };
     let (cur, reff) = sd.generate(6);
     group.bench_function("sad", |b| b.iter(|| sd.run(&cur, &reff, true).1.cycles));
 
-    let fe = fem::Fem { n_nodes: 8192, sweeps: 2 };
+    let fe = fem::Fem {
+        n_nodes: 8192,
+        sweeps: 2,
+    };
     let mesh = fe.generate(7);
     group.bench_function("fem", |b| b.iter(|| fe.run(&mesh).1.cycles));
 

@@ -18,10 +18,22 @@ fn bench_fig4(c: &mut Criterion) {
     group.sample_size(10);
     for v in [
         Variant::Naive,
-        Variant::Tiled { tile: 4, unroll: true },
-        Variant::Tiled { tile: 8, unroll: true },
-        Variant::Tiled { tile: 16, unroll: false },
-        Variant::Tiled { tile: 16, unroll: true },
+        Variant::Tiled {
+            tile: 4,
+            unroll: true,
+        },
+        Variant::Tiled {
+            tile: 8,
+            unroll: true,
+        },
+        Variant::Tiled {
+            tile: 16,
+            unroll: false,
+        },
+        Variant::Tiled {
+            tile: 16,
+            unroll: true,
+        },
         Variant::Prefetch { tile: 16 },
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |bch, &v| {

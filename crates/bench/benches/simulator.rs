@@ -16,15 +16,21 @@ fn bench_compile(c: &mut Criterion) {
     group.bench_function("matmul_tiled16_unrolled", |b| {
         b.iter(|| {
             MatMul { n: 256 }
-                .kernel(Variant::Tiled { tile: 16, unroll: true })
+                .kernel(Variant::Tiled {
+                    tile: 16,
+                    unroll: true,
+                })
                 .regs_per_thread
         })
     });
     group.bench_function("rc5_fully_unrolled", |b| {
         b.iter(|| {
-            g80_apps::rc5::Rc5 { n_keys: 64, ..Default::default() }
-                .kernel(false)
-                .regs_per_thread
+            g80_apps::rc5::Rc5 {
+                n_keys: 64,
+                ..Default::default()
+            }
+            .kernel(false)
+            .regs_per_thread
         })
     });
     group.finish();
@@ -51,7 +57,10 @@ fn bench_sim_throughput(c: &mut Criterion) {
 
     let cfg = GpuConfig::geforce_8800_gtx();
     let mem = DeviceMemory::new(1 << 16);
-    let dims = LaunchDims { grid: (48, 1), block: (256, 1, 1) };
+    let dims = LaunchDims {
+        grid: (48, 1),
+        block: (256, 1, 1),
+    };
     // thread instructions per launch: 48 blocks * 256 threads * ~260 insts
     let thread_insts = 48u64 * 256 * 262;
 
@@ -66,6 +75,31 @@ fn bench_sim_throughput(c: &mut Criterion) {
         })
     });
     group.finish();
+}
+
+/// Reference vs. predecoded engine on the paper's best matmul kernel —
+/// the criterion-tracked counterpart of `bin/bench_sim.rs`.
+fn bench_engines(c: &mut Criterion) {
+    let mm = MatMul { n: 128 };
+    let (a, b) = mm.generate(42);
+    let v = Variant::Tiled {
+        tile: 16,
+        unroll: true,
+    };
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for (name, engine) in [
+        ("reference", g80_sim::Engine::Reference),
+        ("predecoded", g80_sim::Engine::Predecoded),
+    ] {
+        group.bench_function(name, |bch| {
+            g80_sim::set_engine(engine);
+            bch.iter(|| mm.run(v, &a, &b).1.cycles);
+        });
+    }
+    group.finish();
+    g80_sim::set_engine(g80_sim::Engine::Predecoded);
 }
 
 /// The host-side CPU reference (for sanity: the simulator is expected to be
@@ -85,6 +119,7 @@ criterion_group!(
     benches,
     bench_compile,
     bench_sim_throughput,
+    bench_engines,
     bench_cpu_reference
 );
 criterion_main!(benches);

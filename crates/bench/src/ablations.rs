@@ -66,11 +66,7 @@ pub fn sad_texture() -> (f64, f64, f64) {
     let (_, g, _) = app.run(&cur, &reff, false);
     let (_, t, _) = app.run(&cur, &reff, true);
     let gain = g.cycles as f64 / t.cycles as f64;
-    (
-        g.elapsed * 1e3,
-        t.elapsed * 1e3,
-        gain,
-    )
+    (g.elapsed * 1e3, t.elapsed * 1e3, gain)
 }
 
 /// MRI-Q: SFU trig vs polynomial trig on the SPs (paper: SFUs are ~30% of

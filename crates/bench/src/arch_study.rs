@@ -52,9 +52,18 @@ pub fn run(n: u32) -> Vec<ArchResult> {
     let (a, b) = mm.generate(42);
     let variants = [
         Variant::Naive,
-        Variant::Tiled { tile: 8, unroll: true },
-        Variant::Tiled { tile: 16, unroll: false },
-        Variant::Tiled { tile: 16, unroll: true },
+        Variant::Tiled {
+            tile: 8,
+            unroll: true,
+        },
+        Variant::Tiled {
+            tile: 16,
+            unroll: false,
+        },
+        Variant::Tiled {
+            tile: 16,
+            unroll: true,
+        },
         Variant::Prefetch { tile: 16 },
     ];
     [
@@ -91,7 +100,9 @@ pub fn render(rows: &[ArchResult]) -> String {
         s.push_str(&format!("{} — peak {:.0} GFLOPS\n", r.arch, r.peak_gflops));
         for (label, gflops) in &r.results {
             let eff = gflops / r.peak_gflops * 100.0;
-            s.push_str(&format!("  {label:<36} {gflops:>7.2} GFLOPS ({eff:>4.1}% of peak)\n"));
+            s.push_str(&format!(
+                "  {label:<36} {gflops:>7.2} GFLOPS ({eff:>4.1}% of peak)\n"
+            ));
         }
         s.push_str(&format!("  -> best: {}\n\n", r.best));
     }
@@ -107,12 +118,7 @@ mod tests {
         let rows = run(96);
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(
-                r.best.contains("16x16"),
-                "{}: best was {}",
-                r.arch,
-                r.best
-            );
+            assert!(r.best.contains("16x16"), "{}: best was {}", r.arch, r.best);
         }
     }
 
@@ -137,13 +143,7 @@ mod tests {
     #[test]
     fn more_sms_scale_the_absolute_numbers() {
         let rows = run(96);
-        let best = |i: usize| {
-            rows[i]
-                .results
-                .iter()
-                .map(|(_, g)| *g)
-                .fold(0.0, f64::max)
-        };
+        let best = |i: usize| rows[i].results.iter().map(|(_, g)| *g).fold(0.0, f64::max);
         // GTS (12 SMs @1.2GHz) < GTX (16 @1.35) < GT200 (30 @1.296).
         assert!(best(1) < best(0));
         assert!(best(2) > best(0));

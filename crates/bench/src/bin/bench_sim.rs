@@ -1,0 +1,140 @@
+//! Host-performance benchmark of the two timing engines.
+//!
+//! Runs identical workloads through the frozen reference engine and the
+//! predecoded engine and reports wall-clock seconds plus the speedup
+//! ratio. The simulated `KernelStats` of both engines are asserted
+//! bit-identical for every workload along the way (cheap insurance on
+//! top of `tests/golden_stats.rs`).
+//!
+//! Writes a JSON report to the path given as the first argument
+//! (default `BENCH_sim.json`). The committed copy at the repo root is
+//! regenerated with:
+//!
+//! ```text
+//! cargo run --release -p g80-bench --bin bench_sim -- BENCH_sim.json
+//! ```
+
+use g80_apps::matmul::{MatMul, Variant};
+use g80_apps::saxpy::Saxpy;
+use g80_apps::tpacf::Tpacf;
+use g80_sim::{set_engine, Engine, KernelStats};
+use std::time::Instant;
+
+/// Timed runs per engine per workload (after one warm-up run).
+const RUNS: usize = 5;
+
+struct Row {
+    name: &'static str,
+    reference_s: f64,
+    predecoded_s: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.reference_s / self.predecoded_s
+    }
+}
+
+/// Minimum wall-clock over `RUNS` timed executions (min is the standard
+/// low-noise estimator for a deterministic workload).
+fn time_engine(engine: Engine, run: &mut dyn FnMut() -> KernelStats) -> (f64, KernelStats) {
+    set_engine(engine);
+    let stats = run(); // warm-up; also the stats sample for the A/B check
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, stats)
+}
+
+fn bench(name: &'static str, mut run: impl FnMut() -> KernelStats) -> Row {
+    let (reference_s, ref_stats) = time_engine(Engine::Reference, &mut run);
+    let (predecoded_s, pre_stats) = time_engine(Engine::Predecoded, &mut run);
+    assert_eq!(
+        (
+            ref_stats.cycles,
+            ref_stats.warp_instructions,
+            ref_stats.stall_cycles
+        ),
+        (
+            pre_stats.cycles,
+            pre_stats.warp_instructions,
+            pre_stats.stall_cycles
+        ),
+        "{name}: engines disagree on simulated timing"
+    );
+    let row = Row {
+        name,
+        reference_s,
+        predecoded_s,
+    };
+    eprintln!(
+        "{:<24} reference {:>8.4}s  predecoded {:>8.4}s  speedup {:>5.2}x",
+        row.name,
+        row.reference_s,
+        row.predecoded_s,
+        row.speedup()
+    );
+    row
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".into());
+    let mut rows = Vec::new();
+
+    // The headline workload: the paper's best matmul configuration
+    // (16x16 tiled, fully unrolled) at a production-ish size.
+    let mm = MatMul { n: 256 };
+    let (a, b) = mm.generate(42);
+    let tiled = Variant::Tiled {
+        tile: 16,
+        unroll: true,
+    };
+    rows.push(bench("matmul_256_tiled16u", move || {
+        mm.run(tiled, &a, &b).1
+    }));
+
+    // Streaming memory-bound kernel: little arithmetic, scheduler- and
+    // coalescing-path dominated.
+    let sx = Saxpy {
+        n: 1 << 18,
+        alpha: 2.0,
+    };
+    let (x, y) = sx.generate(42);
+    rows.push(bench("saxpy_262144", move || sx.run(&x, &y).1));
+
+    // Divergent, atomic-heavy kernel: stresses the settle/retire paths.
+    let tp = Tpacf { n: 1024 };
+    let sky = tp.generate(42);
+    rows.push(bench("tpacf_1024", move || tp.run(&sky).1));
+
+    set_engine(Engine::Predecoded);
+
+    let mut json = String::from("{\n  \"benchmark\": \"g80-sim engine wall-clock\",\n");
+    json.push_str(&format!(
+        "  \"runs_per_engine\": {RUNS},\n  \"workloads\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"reference_s\": {:.6}, \"predecoded_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.reference_s,
+            r.predecoded_s,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    let headline = rows[0].speedup();
+    assert!(
+        headline >= 2.0,
+        "headline matmul speedup {headline:.2}x is below the 2x floor"
+    );
+}

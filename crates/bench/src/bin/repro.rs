@@ -37,14 +37,20 @@ fn main() {
             let mm = g80_apps::matmul::MatMul { n: 256 };
             for v in [
                 g80_apps::matmul::Variant::Naive,
-                g80_apps::matmul::Variant::Tiled { tile: 16, unroll: false },
+                g80_apps::matmul::Variant::Tiled {
+                    tile: 16,
+                    unroll: false,
+                },
             ] {
                 println!("{}", g80_isa::disasm::disassemble(&mm.kernel(v)));
             }
         }
         "fig4" => {
             let n = if small { 96 } else { 192 };
-            print!("{}", matmul_study::render_figure4(&matmul_study::figure4(n)));
+            print!(
+                "{}",
+                matmul_study::render_figure4(&matmul_study::figure4(n))
+            );
         }
         "sec4" => {
             let n = if small { 128 } else { 256 };
@@ -53,15 +59,18 @@ fn main() {
             print!("{}", matmul_study::render_section4(&steps, &cliff));
             let (label, gflops) = matmul_study::tuner_search(if small { 96 } else { 192 });
             println!("\nAuto-tuner optimum over the config space: {label} at {gflops:.2} GFLOPS");
-            let (sl, sg, bl, bg) =
-                matmul_study::local_maximum_demo(if small { 96 } else { 192 });
+            let (sl, sg, bl, bg) = matmul_study::local_maximum_demo(if small { 96 } else { 192 });
             println!(
                 "Local-maximum demo (tile-only strategy): stuck at {sl} ({sg:.2} GFLOPS) \
                  vs global best {bl} ({bg:.2} GFLOPS) — Section 6's warning, quantified"
             );
         }
         "table2" | "table3" => {
-            let scale = if small { suite::Scale::Small } else { suite::Scale::Full };
+            let scale = if small {
+                suite::Scale::Small
+            } else {
+                suite::Scale::Full
+            };
             let mut reports = suite::run_suite(scale);
             reports.push(suite::matmul_row(if small { 128 } else { 256 }));
             if name == "table2" {
@@ -76,7 +85,10 @@ fn main() {
         }
         "fig5" => {
             let (n, steps) = if small { (64, 2) } else { (128, 8) };
-            print!("{}", ablations::render_figure5(&ablations::figure5(n, steps)));
+            print!(
+                "{}",
+                ablations::render_figure5(&ablations::figure5(n, steps))
+            );
         }
         "sad-texture" => {
             let (g, t, gain) = ablations::sad_texture();
@@ -92,10 +104,16 @@ fn main() {
         }
         "arch" => {
             let n = if small { 96 } else { 192 };
-            print!("{}", g80_bench::arch_study::render(&g80_bench::arch_study::run(n)));
+            print!(
+                "{}",
+                g80_bench::arch_study::render(&g80_bench::arch_study::run(n))
+            );
         }
         "regcap" => {
-            print!("{}", g80_bench::regcap_study::render(&g80_bench::regcap_study::run()));
+            print!(
+                "{}",
+                g80_bench::regcap_study::render(&g80_bench::regcap_study::run())
+            );
         }
         other => {
             eprintln!("unknown experiment: {other}");
@@ -105,8 +123,17 @@ fn main() {
 
     if what == "all" {
         for name in [
-            "table1", "fig4", "sec4", "table2", "table3", "fig5", "sad-texture", "mri-sfu",
-            "rc5-rotate", "arch", "regcap",
+            "table1",
+            "fig4",
+            "sec4",
+            "table2",
+            "table3",
+            "fig5",
+            "sad-texture",
+            "mri-sfu",
+            "rc5-rotate",
+            "arch",
+            "regcap",
         ] {
             println!("==================================================================");
             println!("== {name}");

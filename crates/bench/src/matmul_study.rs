@@ -36,7 +36,10 @@ pub fn figure4(n: u32) -> Vec<Fig4Row> {
     let (a, b) = mm.generate(42);
     let mut variants = vec![Variant::Naive];
     for tile in [4u32, 8, 12, 16] {
-        variants.push(Variant::Tiled { tile, unroll: false });
+        variants.push(Variant::Tiled {
+            tile,
+            unroll: false,
+        });
         variants.push(Variant::Tiled { tile, unroll: true });
     }
     // One step beyond the paper's figure: the companion study's register
@@ -109,12 +112,18 @@ pub fn section4(n: u32) -> Vec<Sec4Step> {
         ("4.1 initial (not tiled)", Variant::Naive, 10.58),
         (
             "4.2 16x16 tiling",
-            Variant::Tiled { tile: 16, unroll: false },
+            Variant::Tiled {
+                tile: 16,
+                unroll: false,
+            },
             46.49,
         ),
         (
             "4.3 + complete unrolling",
-            Variant::Tiled { tile: 16, unroll: true },
+            Variant::Tiled {
+                tile: 16,
+                unroll: true,
+            },
             91.14,
         ),
         ("4.4 + prefetching", Variant::Prefetch { tile: 16 }, 87.10),
@@ -151,7 +160,10 @@ pub fn register_cliff(n: u32) -> (Sec4Step, Sec4Step) {
     let (a, b) = mm.generate(42);
     let cfg = GpuConfig::geforce_8800_gtx();
     let run_forced = |regs: u32| {
-        let v = Variant::Tiled { tile: 16, unroll: false };
+        let v = Variant::Tiled {
+            tile: 16,
+            unroll: false,
+        };
         let k = mm.kernel(v).with_forced_regs(regs);
         let mut dev = g80_cuda::Device::new(3 * n * n * 4 + 4096);
         let da = dev.alloc::<f32>((n * n) as usize);
@@ -189,7 +201,16 @@ pub fn render_section4(steps: &[Sec4Step], cliff: &(Sec4Step, Sec4Step)) -> Stri
     s.push_str("Section 4: matrix multiplication optimization walk (n x n x n SGEMM)\n");
     s.push_str(&format!(
         "{:<28} {:>8} {:>8} {:>5} {:>7} {:>9} {:>9} {:>9}  {:<18} {}\n",
-        "step", "GFLOPS", "paper", "regs", "blk/SM", "issue-bnd", "bw-bound", "req GB/s", "bottleneck", "advisor"
+        "step",
+        "GFLOPS",
+        "paper",
+        "regs",
+        "blk/SM",
+        "issue-bnd",
+        "bw-bound",
+        "req GB/s",
+        "bottleneck",
+        "advisor"
     ));
     for st in steps {
         s.push_str(&format!(
@@ -253,7 +274,10 @@ pub fn local_maximum_demo(n: u32) -> (String, f64, String, f64) {
     // Strategy-constrained neighbourhood: tile size only, rolled loops.
     let tiles = [4u32, 8, 12, 16];
     let path = hill_climb(
-        Variant::Tiled { tile: 4, unroll: false },
+        Variant::Tiled {
+            tile: 4,
+            unroll: false,
+        },
         |v| {
             let Variant::Tiled { tile, unroll } = *v else {
                 return vec![];
@@ -261,10 +285,16 @@ pub fn local_maximum_demo(n: u32) -> (String, f64, String, f64) {
             let i = tiles.iter().position(|&t| t == tile).unwrap();
             let mut out = Vec::new();
             if i > 0 {
-                out.push(Variant::Tiled { tile: tiles[i - 1], unroll });
+                out.push(Variant::Tiled {
+                    tile: tiles[i - 1],
+                    unroll,
+                });
             }
             if i + 1 < tiles.len() {
-                out.push(Variant::Tiled { tile: tiles[i + 1], unroll });
+                out.push(Variant::Tiled {
+                    tile: tiles[i + 1],
+                    unroll,
+                });
             }
             out
         },

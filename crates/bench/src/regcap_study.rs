@@ -38,9 +38,7 @@ fn hungry_kernel(cap: Option<u32>) -> g80_isa::Kernel {
     let base = b.iadd(byte, inp);
 
     // LIVE simultaneously-live accumulators, each fed every iteration.
-    let accs: Vec<_> = (0..LIVE)
-        .map(|k| b.mov(Operand::imm_f(k as f32)))
-        .collect();
+    let accs: Vec<_> = (0..LIVE).map(|k| b.mov(Operand::imm_f(k as f32))).collect();
     b.for_range(0u32, 16u32, 1, Unroll::None, |b, _| {
         let v = b.ld_global(base, 0);
         for (k, &acc) in accs.iter().enumerate() {
@@ -67,7 +65,12 @@ fn run_cap(cap: Option<u32>) -> (g80_isa::Kernel, KernelStats) {
     let dout = dev.alloc::<f32>(n as usize);
     dev.copy_to_device(&din, &vec![1.0f32; n as usize]);
     let stats = dev
-        .launch(&k, (n / 256, 1), (256, 1, 1), &[din.as_param(), dout.as_param()])
+        .launch(
+            &k,
+            (n / 256, 1),
+            (256, 1, 1),
+            &[din.as_param(), dout.as_param()],
+        )
         .expect("regcap launch");
     (k, stats)
 }
@@ -156,8 +159,13 @@ mod tests {
             let din = dev.alloc::<f32>(n as usize);
             let dout = dev.alloc::<f32>(n as usize);
             dev.copy_to_device(&din, &vec![2.0f32; n as usize]);
-            dev.launch(&k, (n / 256, 1), (256, 1, 1), &[din.as_param(), dout.as_param()])
-                .unwrap();
+            dev.launch(
+                &k,
+                (n / 256, 1),
+                (256, 1, 1),
+                &[din.as_param(), dout.as_param()],
+            )
+            .unwrap();
             dev.copy_from_device(&dout)
         };
         let unc = run_out(None);

@@ -30,12 +30,22 @@ pub fn run_suite(scale: Scale) -> Vec<AppReport> {
         if full {
             sad::SadApp::default()
         } else {
-            sad::SadApp { width: 64, height: 48 }
+            sad::SadApp {
+                width: 64,
+                height: 48,
+            }
         }
         .report(),
     );
     // LBM.
-    reports.push(if full { lbm::Lbm { n: 128, steps: 8 } } else { lbm::Lbm { n: 64, steps: 2 } }.report());
+    reports.push(
+        if full {
+            lbm::Lbm { n: 128, steps: 8 }
+        } else {
+            lbm::Lbm { n: 64, steps: 2 }
+        }
+        .report(),
+    );
     // RC5-72.
     reports.push(
         rc5::Rc5 {
@@ -53,7 +63,12 @@ pub fn run_suite(scale: Scale) -> Vec<AppReport> {
         .report(),
     );
     // RPES.
-    reports.push(rpes::Rpes { n: if full { 1 << 15 } else { 1 << 13 } }.report());
+    reports.push(
+        rpes::Rpes {
+            n: if full { 1 << 15 } else { 1 << 13 },
+        }
+        .report(),
+    );
     // PNS.
     reports.push(
         pns::Pns {
@@ -72,7 +87,12 @@ pub fn run_suite(scale: Scale) -> Vec<AppReport> {
         .report(),
     );
     // TPACF.
-    reports.push(tpacf::Tpacf { n: if full { 2048 } else { 512 } }.report());
+    reports.push(
+        tpacf::Tpacf {
+            n: if full { 2048 } else { 512 },
+        }
+        .report(),
+    );
     // FDTD.
     reports.push(
         fdtd::Fdtd {
@@ -113,7 +133,10 @@ pub fn run_suite(scale: Scale) -> Vec<AppReport> {
 pub fn matmul_row(n: u32) -> AppReport {
     let mm = matmul::MatMul { n };
     let (a, b) = mm.generate(42);
-    let v = matmul::Variant::Tiled { tile: 16, unroll: true };
+    let v = matmul::Variant::Tiled {
+        tile: 16,
+        unroll: true,
+    };
     let want = mm.cpu_reference(&a, &b);
     let (got, stats, timeline) = mm.run(v, &a, &b);
     AppReport {
@@ -264,7 +287,10 @@ mod tests {
         let reports = run_suite(Scale::Small);
         let t2 = render_table2(&reports);
         let t3 = render_table3(&reports);
-        for name in ["H.264", "LBM", "RC5-72", "FEM", "RPES", "PNS", "SAXPY", "TPACF", "FDTD", "MRI-Q", "MRI-FHD", "CP"] {
+        for name in [
+            "H.264", "LBM", "RC5-72", "FEM", "RPES", "PNS", "SAXPY", "TPACF", "FDTD", "MRI-Q",
+            "MRI-FHD", "CP",
+        ] {
             assert!(t2.contains(name), "table2 missing {name}");
             assert!(t3.contains(name), "table3 missing {name}");
         }

@@ -70,7 +70,11 @@ pub fn advise(cfg: &GpuConfig, stats: &KernelStats) -> Vec<Hint> {
     }
 
     // 2. Tiling: bandwidth-bound with no shared-memory use.
-    let ld_shared = stats.by_class.get(&InstClass::LdShared).copied().unwrap_or(0);
+    let ld_shared = stats
+        .by_class
+        .get(&InstClass::LdShared)
+        .copied()
+        .unwrap_or(0);
     if est.bottleneck == Bottleneck::MemoryBandwidth && ld_shared == 0 {
         hints.push(Hint {
             kind: HintKind::TileIntoSharedMemory,
@@ -160,7 +164,11 @@ pub fn advise(cfg: &GpuConfig, stats: &KernelStats) -> Vec<Hint> {
 
     // 7. Cache suggestions: read-mostly uncoalesced loads with no texture use.
     let ld_tex = stats.by_class.get(&InstClass::LdTex).copied().unwrap_or(0);
-    let ld_const = stats.by_class.get(&InstClass::LdConst).copied().unwrap_or(0);
+    let ld_const = stats
+        .by_class
+        .get(&InstClass::LdConst)
+        .copied()
+        .unwrap_or(0);
     if stats.uncoalesced_half_warps > stats.coalesced_half_warps
         && ld_tex == 0
         && stats.global_st_transactions < stats.global_ld_transactions / 4
@@ -223,7 +231,10 @@ mod tests {
         let stats = launch(
             &gtx(),
             &k,
-            LaunchDims { grid: (256, 1), block: (256, 1, 1) },
+            LaunchDims {
+                grid: (256, 1),
+                block: (256, 1, 1),
+            },
             &[Value::from_u32(0)],
             &mem,
         )
@@ -258,7 +269,10 @@ mod tests {
         let stats = launch(
             &gtx(),
             &k,
-            LaunchDims { grid: (96, 1), block: (256, 1, 1) },
+            LaunchDims {
+                grid: (96, 1),
+                block: (256, 1, 1),
+            },
             &[Value::from_u32(0)],
             &mem,
         )
@@ -294,7 +308,10 @@ mod tests {
         let stats = launch(
             &gtx(),
             &k,
-            LaunchDims { grid: (16, 1), block: (256, 1, 1) },
+            LaunchDims {
+                grid: (16, 1),
+                block: (256, 1, 1),
+            },
             &[Value::from_u32(0)],
             &mem,
         )
@@ -323,7 +340,10 @@ mod tests {
         let stats = launch(
             &gtx(),
             &k,
-            LaunchDims { grid: (512, 1), block: (256, 1, 1) },
+            LaunchDims {
+                grid: (512, 1),
+                block: (256, 1, 1),
+            },
             &[Value::from_u32(0), Value::from_u32(1 << 21)],
             &mem,
         )

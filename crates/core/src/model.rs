@@ -162,8 +162,8 @@ mod tests {
     use super::*;
     use g80_isa::builder::{KernelBuilder, Unroll};
     use g80_isa::inst::Operand;
-    use g80_sim::{launch, DeviceMemory, LaunchDims};
     use g80_isa::Value;
+    use g80_sim::{launch, DeviceMemory, LaunchDims};
 
     fn gtx() -> GpuConfig {
         GpuConfig::geforce_8800_gtx()
@@ -214,7 +214,10 @@ mod tests {
         let stats = launch(
             &cfg,
             &k,
-            LaunchDims { grid: (48, 1), block: (256, 1, 1) },
+            LaunchDims {
+                grid: (48, 1),
+                block: (256, 1, 1),
+            },
             &[Value::from_u32(0)],
             &mem,
         )
@@ -235,7 +238,10 @@ mod tests {
         let stats = launch(
             &cfg,
             &k,
-            LaunchDims { grid: (1024, 1), block: (256, 1, 1) },
+            LaunchDims {
+                grid: (1024, 1),
+                block: (256, 1, 1),
+            },
             &[Value::from_u32(0), Value::from_u32(1 << 21)],
             &mem,
         )
@@ -257,7 +263,10 @@ mod tests {
         let stats = launch(
             &cfg,
             &k,
-            LaunchDims { grid: (1024, 1), block: (256, 1, 1) },
+            LaunchDims {
+                grid: (1024, 1),
+                block: (256, 1, 1),
+            },
             &[Value::from_u32(0), Value::from_u32(1 << 21)],
             &mem,
         )

@@ -69,14 +69,17 @@ pub fn occupancy(
     // Thread contexts bind twice: raw threads and warp contexts (a partial
     // warp occupies a whole context).
     let warps_per_block = threads_per_block.div_ceil(cfg.warp_size);
-    let by_threads = (cfg.max_threads_per_sm / threads_per_block)
-        .min(cfg.max_warps_per_sm() / warps_per_block);
+    let by_threads =
+        (cfg.max_threads_per_sm / threads_per_block).min(cfg.max_warps_per_sm() / warps_per_block);
     let by_regs = if regs_per_thread == 0 {
         u32::MAX
     } else {
         cfg.registers_per_sm / (regs_per_thread * threads_per_block)
     };
-    let by_smem = cfg.smem_per_sm.checked_div(smem_per_block).unwrap_or(u32::MAX);
+    let by_smem = cfg
+        .smem_per_sm
+        .checked_div(smem_per_block)
+        .unwrap_or(u32::MAX);
     let by_slots = cfg.max_blocks_per_sm;
 
     let blocks = by_threads.min(by_regs).min(by_smem).min(by_slots);

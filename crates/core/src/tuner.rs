@@ -47,10 +47,7 @@ impl<C> SweepResult<C> {
 }
 
 /// Evaluates every configuration sequentially.
-pub fn sweep<C: Clone>(
-    configs: &[C],
-    mut eval: impl FnMut(&C) -> KernelStats,
-) -> SweepResult<C> {
+pub fn sweep<C: Clone>(configs: &[C], mut eval: impl FnMut(&C) -> KernelStats) -> SweepResult<C> {
     assert!(!configs.is_empty(), "empty configuration space");
     let samples: Vec<Sample<C>> = configs
         .iter()
@@ -77,11 +74,11 @@ pub fn sweep_parallel<C: Clone + Send + Sync>(
         .min(configs.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let eval = &eval;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..nthreads {
             let next = &next;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut mine: Vec<(usize, Sample<C>)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -104,8 +101,7 @@ pub fn sweep_parallel<C: Clone + Send + Sync>(
                 samples[i] = Some(s);
             }
         }
-    })
-    .expect("tuner scope panicked");
+    });
     finish(samples.into_iter().map(|s| s.unwrap()).collect())
 }
 

@@ -293,7 +293,9 @@ mod tests {
         b.st_global(a, 0, w);
         let k = b.build();
 
-        let stats = d.launch(&k, (4, 1), (256, 1, 1), &[buf.as_param()]).unwrap();
+        let stats = d
+            .launch(&k, (4, 1), (256, 1, 1), &[buf.as_param()])
+            .unwrap();
         assert!(stats.cycles > 0);
         let out = d.copy_from_device(&buf);
         assert!(out.iter().all(|&x| x == 3.0));

@@ -383,7 +383,13 @@ impl KernelBuilder {
     }
 
     /// Store.
-    pub fn st(&mut self, space: Space, addr: impl Into<Operand>, off: i32, src: impl Into<Operand>) {
+    pub fn st(
+        &mut self,
+        space: Space,
+        addr: impl Into<Operand>,
+        off: i32,
+        src: impl Into<Operand>,
+    ) {
         self.emit(Inst::St {
             space,
             addr: addr.into(),
@@ -543,7 +549,10 @@ impl KernelBuilder {
         let end = end.into();
         match unroll {
             Unroll::Full => {
-                let s = start.as_imm().expect("full unroll needs imm start").as_u32();
+                let s = start
+                    .as_imm()
+                    .expect("full unroll needs imm start")
+                    .as_u32();
                 let e = end.as_imm().expect("full unroll needs imm end").as_u32();
                 let mut i = s;
                 while i < e {
@@ -553,7 +562,10 @@ impl KernelBuilder {
             }
             Unroll::By(f) => {
                 assert!(f > 0, "unroll factor must be positive");
-                let s = start.as_imm().expect("partial unroll needs imm start").as_u32();
+                let s = start
+                    .as_imm()
+                    .expect("partial unroll needs imm start")
+                    .as_u32();
                 let e = end.as_imm().expect("partial unroll needs imm end").as_u32();
                 let trips = (e.saturating_sub(s)).div_ceil(step);
                 assert!(

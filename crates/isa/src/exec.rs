@@ -120,6 +120,106 @@ pub fn eval_cmp(op: CmpOp, ty: Scalar, a: Value, b: Value) -> Value {
     Value::from_bool(t)
 }
 
+/// A whole-warp register row: one value per lane.
+pub type Row = [Value; 32];
+
+/// Only lanes set in `mask` are written; the rest keep their old value.
+/// The op match is loop-invariant, so the compiler specializes the loop
+/// per op (and vectorizes the full-mask case) — one call per warp
+/// instruction instead of one per lane.
+#[inline]
+pub fn eval_alu_row(op: AluOp, a: &Row, b: &Row, dst: &mut Row, mask: u32) {
+    if mask == u32::MAX {
+        for l in 0..32 {
+            dst[l] = eval_alu(op, a[l], b[l]);
+        }
+    } else {
+        for l in 0..32 {
+            if mask >> l & 1 == 1 {
+                dst[l] = eval_alu(op, a[l], b[l]);
+            }
+        }
+    }
+}
+
+/// Row form of [`eval_un`].
+#[inline]
+pub fn eval_un_row(op: UnOp, a: &Row, dst: &mut Row, mask: u32) {
+    if mask == u32::MAX {
+        for l in 0..32 {
+            dst[l] = eval_un(op, a[l]);
+        }
+    } else {
+        for l in 0..32 {
+            if mask >> l & 1 == 1 {
+                dst[l] = eval_un(op, a[l]);
+            }
+        }
+    }
+}
+
+/// Row form of [`eval_sfu`].
+#[inline]
+pub fn eval_sfu_row(op: SfuOp, a: &Row, dst: &mut Row, mask: u32) {
+    for l in 0..32 {
+        if mask >> l & 1 == 1 {
+            dst[l] = eval_sfu(op, a[l]);
+        }
+    }
+}
+
+/// Row form of [`eval_ffma`].
+#[inline]
+pub fn eval_ffma_row(a: &Row, b: &Row, c: &Row, dst: &mut Row, mask: u32) {
+    if mask == u32::MAX {
+        for l in 0..32 {
+            dst[l] = eval_ffma(a[l], b[l], c[l]);
+        }
+    } else {
+        for l in 0..32 {
+            if mask >> l & 1 == 1 {
+                dst[l] = eval_ffma(a[l], b[l], c[l]);
+            }
+        }
+    }
+}
+
+/// Row form of [`eval_imad`].
+#[inline]
+pub fn eval_imad_row(a: &Row, b: &Row, c: &Row, dst: &mut Row, mask: u32) {
+    if mask == u32::MAX {
+        for l in 0..32 {
+            dst[l] = eval_imad(a[l], b[l], c[l]);
+        }
+    } else {
+        for l in 0..32 {
+            if mask >> l & 1 == 1 {
+                dst[l] = eval_imad(a[l], b[l], c[l]);
+            }
+        }
+    }
+}
+
+/// Row form of [`eval_cmp`].
+#[inline]
+pub fn eval_cmp_row(op: CmpOp, ty: Scalar, a: &Row, b: &Row, dst: &mut Row, mask: u32) {
+    for l in 0..32 {
+        if mask >> l & 1 == 1 {
+            dst[l] = eval_cmp(op, ty, a[l], b[l]);
+        }
+    }
+}
+
+/// Row select: `dst[l] = if c[l] { a[l] } else { b[l] }`.
+#[inline]
+pub fn eval_sel_row(c: &Row, a: &Row, b: &Row, dst: &mut Row, mask: u32) {
+    for l in 0..32 {
+        if mask >> l & 1 == 1 {
+            dst[l] = if c[l].as_bool() { a[l] } else { b[l] };
+        }
+    }
+}
+
 /// Applies an atomic op, returning (new_value, old_value).
 pub fn eval_atom(op: crate::inst::AtomOp, old: Value, src: Value) -> (Value, Value) {
     use crate::inst::AtomOp;
@@ -204,9 +304,7 @@ mod tests {
     fn sfu_accuracy() {
         assert!((eval_sfu(SfuOp::Rsqrt, f(4.0)).as_f32() - 0.5).abs() < 1e-6);
         assert!((eval_sfu(SfuOp::Rcp, f(8.0)).as_f32() - 0.125).abs() < 1e-6);
-        assert!(
-            (eval_sfu(SfuOp::Sin, f(std::f32::consts::FRAC_PI_2)).as_f32() - 1.0).abs() < 1e-6
-        );
+        assert!((eval_sfu(SfuOp::Sin, f(std::f32::consts::FRAC_PI_2)).as_f32() - 1.0).abs() < 1e-6);
         assert!((eval_sfu(SfuOp::Cos, f(0.0)).as_f32() - 1.0).abs() < 1e-6);
         assert_eq!(eval_sfu(SfuOp::Ex2, f(3.0)).as_f32(), 8.0);
         assert_eq!(eval_sfu(SfuOp::Lg2, f(8.0)).as_f32(), 3.0);
@@ -225,6 +323,97 @@ mod tests {
         assert!(!eval_cmp(Eq, Scalar::F32, nan, nan).as_bool());
         assert!(eval_cmp(Ne, Scalar::F32, nan, nan).as_bool());
         assert!(!eval_cmp(Le, Scalar::F32, nan, f(0.0)).as_bool());
+    }
+
+    #[test]
+    fn row_evaluators_match_lane_evaluators() {
+        let a: Row = std::array::from_fn(|l| Value::from_f32(l as f32 - 7.5));
+        let b: Row = std::array::from_fn(|l| Value::from_f32(2.0 - l as f32));
+        let c: Row = std::array::from_fn(|l| Value::from_u32((l % 2) as u32));
+        for mask in [u32::MAX, 0x0f0f_0f0f, 0] {
+            let keep: Row = std::array::from_fn(|l| Value::from_u32(0xdead_0000 + l as u32));
+
+            let mut dst = keep;
+            eval_alu_row(AluOp::FAdd, &a, &b, &mut dst, mask);
+            for l in 0..32 {
+                let want = if mask >> l & 1 == 1 {
+                    eval_alu(AluOp::FAdd, a[l], b[l])
+                } else {
+                    keep[l]
+                };
+                assert_eq!(dst[l], want, "alu lane {l} mask {mask:#x}");
+            }
+
+            let mut dst = keep;
+            eval_ffma_row(&a, &b, &c, &mut dst, mask);
+            for l in 0..32 {
+                let want = if mask >> l & 1 == 1 {
+                    eval_ffma(a[l], b[l], c[l])
+                } else {
+                    keep[l]
+                };
+                assert_eq!(dst[l], want, "ffma lane {l} mask {mask:#x}");
+            }
+
+            let mut dst = keep;
+            eval_imad_row(&a, &b, &c, &mut dst, mask);
+            for l in 0..32 {
+                let want = if mask >> l & 1 == 1 {
+                    eval_imad(a[l], b[l], c[l])
+                } else {
+                    keep[l]
+                };
+                assert_eq!(dst[l], want, "imad lane {l} mask {mask:#x}");
+            }
+
+            let mut dst = keep;
+            eval_un_row(UnOp::FNeg, &a, &mut dst, mask);
+            for l in 0..32 {
+                let want = if mask >> l & 1 == 1 {
+                    eval_un(UnOp::FNeg, a[l])
+                } else {
+                    keep[l]
+                };
+                assert_eq!(dst[l], want, "un lane {l} mask {mask:#x}");
+            }
+
+            let mut dst = keep;
+            eval_sfu_row(SfuOp::Rcp, &b, &mut dst, mask);
+            for l in 0..32 {
+                let want = if mask >> l & 1 == 1 {
+                    eval_sfu(SfuOp::Rcp, b[l])
+                } else {
+                    keep[l]
+                };
+                assert_eq!(dst[l], want, "sfu lane {l} mask {mask:#x}");
+            }
+
+            let mut dst = keep;
+            eval_cmp_row(CmpOp::Lt, Scalar::F32, &a, &b, &mut dst, mask);
+            for l in 0..32 {
+                let want = if mask >> l & 1 == 1 {
+                    eval_cmp(CmpOp::Lt, Scalar::F32, a[l], b[l])
+                } else {
+                    keep[l]
+                };
+                assert_eq!(dst[l], want, "cmp lane {l} mask {mask:#x}");
+            }
+
+            let mut dst = keep;
+            eval_sel_row(&c, &a, &b, &mut dst, mask);
+            for l in 0..32 {
+                let want = if mask >> l & 1 == 1 {
+                    if c[l].as_bool() {
+                        a[l]
+                    } else {
+                        b[l]
+                    }
+                } else {
+                    keep[l]
+                };
+                assert_eq!(dst[l], want, "sel lane {l} mask {mask:#x}");
+            }
+        }
     }
 
     #[test]

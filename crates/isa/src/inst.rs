@@ -386,6 +386,37 @@ pub enum InstClass {
     Exit,
 }
 
+impl InstClass {
+    /// Number of variants, for dense counter arrays.
+    pub const COUNT: usize = 16;
+
+    /// Every variant, indexed by its [`InstClass::index`].
+    pub const ALL: [InstClass; InstClass::COUNT] = [
+        InstClass::Fma,
+        InstClass::FAlu,
+        InstClass::IAlu,
+        InstClass::Sfu,
+        InstClass::LdGlobal,
+        InstClass::StGlobal,
+        InstClass::LdShared,
+        InstClass::StShared,
+        InstClass::LdConst,
+        InstClass::LdTex,
+        InstClass::LdLocal,
+        InstClass::StLocal,
+        InstClass::Atomic,
+        InstClass::Branch,
+        InstClass::Barrier,
+        InstClass::Exit,
+    ];
+
+    /// Dense index of this class (`ALL[c.index()] == c`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 impl Inst {
     /// The counter class of this instruction.
     pub fn class(&self) -> InstClass {

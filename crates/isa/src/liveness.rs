@@ -66,9 +66,7 @@ pub fn build_cfg(code: &[Inst]) -> Cfg {
         let last = blocks[b].end - 1;
         let succs: Vec<usize> = match &code[last] {
             Inst::Bra {
-                target,
-                pred: None,
-                ..
+                target, pred: None, ..
             } => vec![block_of[target.0 as usize]],
             Inst::Bra {
                 target,

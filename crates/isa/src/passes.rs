@@ -111,8 +111,7 @@ impl BlockState {
         self.copies
             .retain(|_, v| !matches!(v, Operand::Reg(x) if *x == r));
         self.exprs.retain(|k, v| *v != r && !k.mentions(r));
-        self.addrs
-            .retain(|k, (base, _)| *k != r && *base != r);
+        self.addrs.retain(|k, (base, _)| *k != r && *base != r);
     }
 }
 
@@ -134,15 +133,9 @@ fn try_fold(inst: &Inst) -> Option<Inst> {
             let a = imm_of(a)?;
             return Some(mov(dst, Operand::Imm(exec::eval_un(op, a))));
         }
-        Inst::Ffma { dst, a, b, c } => {
-            (dst, exec::eval_ffma(imm_of(a)?, imm_of(b)?, imm_of(c)?))
-        }
-        Inst::Imad { dst, a, b, c } => {
-            (dst, exec::eval_imad(imm_of(a)?, imm_of(b)?, imm_of(c)?))
-        }
-        Inst::SetP { op, ty, dst, a, b } => {
-            (dst, exec::eval_cmp(op, ty, imm_of(a)?, imm_of(b)?))
-        }
+        Inst::Ffma { dst, a, b, c } => (dst, exec::eval_ffma(imm_of(a)?, imm_of(b)?, imm_of(c)?)),
+        Inst::Imad { dst, a, b, c } => (dst, exec::eval_imad(imm_of(a)?, imm_of(b)?, imm_of(c)?)),
+        Inst::SetP { op, ty, dst, a, b } => (dst, exec::eval_cmp(op, ty, imm_of(a)?, imm_of(b)?)),
         Inst::Sel { dst, c, a, b } => {
             let c = imm_of(c)?;
             let pick = if c.as_bool() { a } else { b };
@@ -432,9 +425,13 @@ mod tests {
             i,
             Inst::Alu { op: AluOp::Shl, b, .. } if *b == iu(3)
         )));
-        assert!(!code
-            .iter()
-            .any(|i| matches!(i, Inst::Alu { op: AluOp::IMul, .. })));
+        assert!(!code.iter().any(|i| matches!(
+            i,
+            Inst::Alu {
+                op: AluOp::IMul,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -538,11 +535,19 @@ mod tests {
         // The add folds into the load offset and then dies.
         assert!(code.iter().any(|i| matches!(
             i,
-            Inst::Ld { addr: Operand::Reg(Reg(0)), off: 68, .. }
+            Inst::Ld {
+                addr: Operand::Reg(Reg(0)),
+                off: 68,
+                ..
+            }
         )));
-        assert!(!code
-            .iter()
-            .any(|i| matches!(i, Inst::Alu { op: AluOp::IAdd, .. })));
+        assert!(!code.iter().any(|i| matches!(
+            i,
+            Inst::Alu {
+                op: AluOp::IAdd,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -564,9 +569,13 @@ mod tests {
         ];
         finish(&mut code, r(1));
         run(OptLevel::O2, &mut code);
-        assert!(code
-            .iter()
-            .any(|i| matches!(i, Inst::Alu { op: AluOp::FAdd, .. })));
+        assert!(code.iter().any(|i| matches!(
+            i,
+            Inst::Alu {
+                op: AluOp::FAdd,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -619,7 +628,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             code[bra_target],
-            Inst::Alu { op: AluOp::IAdd, .. }
+            Inst::Alu {
+                op: AluOp::IAdd,
+                ..
+            }
         ));
     }
 
@@ -656,7 +668,15 @@ mod tests {
         run(OptLevel::O2, &mut code);
         let adds = code
             .iter()
-            .filter(|i| matches!(i, Inst::Alu { op: AluOp::IAdd, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Alu {
+                        op: AluOp::IAdd,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(adds, 2);
     }

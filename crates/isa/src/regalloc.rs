@@ -128,10 +128,7 @@ fn apply(code: &mut [Inst], assignment: &HashMap<Reg, u32>) {
                 *op = Operand::Reg(map(*r));
             }
         });
-        if let Inst::Bra {
-            pred: Some(p), ..
-        } = inst
-        {
+        if let Inst::Bra { pred: Some(p), .. } = inst {
             p.reg = map(p.reg);
         }
     }
@@ -170,10 +167,7 @@ fn spill(code: &mut Vec<Inst>, spilled: &HashMap<Reg, u32>, mut next_vreg: u32) 
                 }
             }
         });
-        if let Inst::Bra {
-            pred: Some(p), ..
-        } = &mut inst
-        {
+        if let Inst::Bra { pred: Some(p), .. } = &mut inst {
             if spilled.contains_key(&p.reg) {
                 p.reg = reload(p.reg, &mut next_vreg, &mut pre);
             }
@@ -267,7 +261,7 @@ pub fn allocate(code: &mut Vec<Inst>, max_regs: Option<u32>) -> u32 {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::builder::{KernelBuilder, Unroll};
     use crate::inst::Operand;
 

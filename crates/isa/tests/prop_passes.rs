@@ -70,9 +70,7 @@ fn interpret(code: &[Inst]) -> Vec<(u32, u32)> {
                 off,
                 src,
             } => {
-                let a = get(&regs, &addr)
-                    .as_u32()
-                    .wrapping_add(off as u32);
+                let a = get(&regs, &addr).as_u32().wrapping_add(off as u32);
                 stores.push((a, get(&regs, &src).as_u32()));
             }
             Inst::St {
@@ -147,9 +145,19 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
         (alu_op, reg.clone(), operand.clone(), operand.clone())
             .prop_map(|(op, dst, a, b)| Inst::Alu { op, dst, a, b }),
-        (reg.clone(), operand.clone(), operand.clone(), operand.clone())
+        (
+            reg.clone(),
+            operand.clone(),
+            operand.clone(),
+            operand.clone()
+        )
             .prop_map(|(dst, a, b, c)| Inst::Ffma { dst, a, b, c }),
-        (reg.clone(), operand.clone(), operand.clone(), operand.clone())
+        (
+            reg.clone(),
+            operand.clone(),
+            operand.clone(),
+            operand.clone()
+        )
             .prop_map(|(dst, a, b, c)| Inst::Imad { dst, a, b, c }),
         (un_op, reg.clone(), operand.clone()).prop_map(|(op, dst, a)| Inst::Un { op, dst, a }),
         (sfu_op, reg.clone(), operand.clone()).prop_map(|(op, dst, a)| Inst::Sfu { op, dst, a }),

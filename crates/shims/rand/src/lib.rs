@@ -1,0 +1,237 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of the rand 0.8 API it actually uses:
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`], [`Rng::gen`], and
+//! [`rngs::StdRng`]. The generator is xoshiro256** seeded through SplitMix64
+//! — deterministic across platforms and runs, which is all the workload
+//! generators and property tests require. The streams do **not** match the
+//! real rand crate's ChaCha-based `StdRng`; nothing in the repo depends on
+//! the specific stream, only on determinism per seed.
+
+pub mod rngs {
+    /// Deterministic xoshiro256** generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Core 64-bit generator interface, as in rand_core.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, as in rand's `SeedableRng` (only the
+/// `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, per the
+        // reference implementation's recommendation.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types that can be drawn uniformly from a `Range` / `RangeInclusive`.
+pub trait SampleUniform: Sized {
+    fn sample_range(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is irrelevant at the spans used here (all far
+                // below 2^64); keep it simple and branch-free.
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_range(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample(rng: &mut impl RngCore) -> Self;
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The user-facing convenience trait, as in rand 0.8.
+pub trait Rng: RngCore {
+    /// Uniform draw from `lo..hi` (exclusive) or `lo..=hi` (inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+        Self: Sized,
+    {
+        let (lo, hi) = range.into_bounds();
+        T::sample_range(self, lo, hi)
+    }
+
+    /// Draw from the standard distribution of `T`.
+    #[allow(clippy::should_implement_trait)] // mirrors rand's method name
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Minimal stand-in for the range-argument polymorphism of `gen_range`
+/// (rand 0.8 takes `impl SampleRange`). Half-open and inclusive ranges only.
+pub trait RangeBounds<T> {
+    /// Returns `(lo, hi)` with `hi` exclusive.
+    fn into_bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform> RangeBounds<T> for std::ops::Range<T> {
+    fn into_bounds(self) -> (T, T) {
+        (self.start, self.end)
+    }
+}
+
+macro_rules! impl_inclusive_int {
+    ($($t:ty),*) => {$(
+        impl RangeBounds<$t> for std::ops::RangeInclusive<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                let (lo, hi) = self.into_inner();
+                (lo, hi + 1)
+            }
+        }
+    )*};
+}
+
+impl_inclusive_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `rand::thread_rng()` equivalent — deterministic here (fixed seed), which
+/// is fine for the non-cryptographic uses in this workspace.
+pub fn thread_rng() -> StdRng {
+    StdRng::seed_from_u64(0x853c49e6748fea9b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let cv: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(av, bv);
+        assert_ne!(av, cv);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f32 = r.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i: i32 = r.gen_range(-3..4);
+            assert!((-3..4).contains(&i));
+            let u: usize = r.gen_range(1usize..5);
+            assert!((1..5).contains(&u));
+            let v: u32 = r.gen_range(0u32..=10);
+            assert!(v <= 10);
+        }
+    }
+
+    #[test]
+    fn gen_standard() {
+        let mut r = StdRng::seed_from_u64(2);
+        let _: bool = r.gen();
+        let f: f32 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -192,7 +192,12 @@ impl GpuConfig {
     /// How many blocks of a kernel fit on one SM simultaneously, given the
     /// per-thread register demand, per-block shared memory, and block size.
     /// Returns 0 if a single block does not fit.
-    pub fn blocks_per_sm(&self, regs_per_thread: u32, smem_per_block: u32, threads_per_block: u32) -> u32 {
+    pub fn blocks_per_sm(
+        &self,
+        regs_per_thread: u32,
+        smem_per_block: u32,
+        threads_per_block: u32,
+    ) -> u32 {
         if threads_per_block == 0 || threads_per_block > self.max_threads_per_block {
             return 0;
         }

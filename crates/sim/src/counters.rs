@@ -298,24 +298,30 @@ mod tests {
 
     fn dummy(cycles: u64, flops: u64) -> KernelStats {
         let cfg = GpuConfig::geforce_8800_gtx();
-        let mut sm = SmStats::default();
-        sm.cycles = cycles;
-        sm.flops = flops;
-        sm.warp_instructions = 100;
-        sm.thread_instructions = 3200;
-        sm.global_bytes = 4096;
+        let sm = SmStats {
+            cycles,
+            flops,
+            warp_instructions: 100,
+            thread_instructions: 3200,
+            global_bytes: 4096,
+            ..Default::default()
+        };
         KernelStats::merge("d", &cfg, vec![sm], 10, 0, 256, 3, 8)
     }
 
     #[test]
     fn merge_takes_max_cycles_and_sums_counters() {
         let cfg = GpuConfig::geforce_8800_gtx();
-        let mut a = SmStats::default();
-        a.cycles = 100;
-        a.flops = 10;
-        let mut b = SmStats::default();
-        b.cycles = 250;
-        b.flops = 20;
+        let a = SmStats {
+            cycles: 100,
+            flops: 10,
+            ..Default::default()
+        };
+        let b = SmStats {
+            cycles: 250,
+            flops: 20,
+            ..Default::default()
+        };
         let s = KernelStats::merge("m", &cfg, vec![a, b], 8, 0, 128, 2, 4);
         assert_eq!(s.cycles, 250); // slowest SM
         assert_eq!(s.flops, 30);

@@ -10,8 +10,39 @@
 use crate::config::GpuConfig;
 use crate::counters::{KernelStats, SmStats};
 use crate::memory::DeviceMemory;
+use crate::reference::run_sm_reference;
 use crate::sm::{run_sm, LaunchDims};
-use g80_isa::{Kernel, Value};
+use g80_isa::{DecodedKernel, Kernel, Value};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which timing-engine implementation [`launch`] uses. Both produce
+/// bit-identical [`KernelStats`]; they differ only in host-side speed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// The predecoded, allocation-free hot loop in [`crate::sm`] (default).
+    Predecoded,
+    /// The original instruction-at-a-time engine, kept in
+    /// [`crate::reference`] as the executable spec for equivalence testing
+    /// and as the "before" side of host-performance benchmarks.
+    Reference,
+}
+
+static ENGINE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the engine used by subsequent [`launch`] calls (process-wide).
+/// Intended for A/B equivalence tests and benchmarks; production callers
+/// should leave the default.
+pub fn set_engine(e: Engine) {
+    ENGINE.store(e as u8, Ordering::SeqCst);
+}
+
+/// The engine currently selected for [`launch`].
+pub fn engine() -> Engine {
+    match ENGINE.load(Ordering::SeqCst) {
+        1 => Engine::Reference,
+        _ => Engine::Predecoded,
+    }
+}
 
 /// Errors rejected at launch time (the CUDA runtime would fail the same way).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,22 +126,32 @@ pub fn launch(
         }
     }
 
+    // Predecode once per launch; every SM thread shares the table.
+    let eng = engine();
+    let decoded = match eng {
+        Engine::Predecoded => Some(DecodedKernel::new(kernel)),
+        Engine::Reference => None,
+    };
+    let decoded = decoded.as_ref();
+
     // Simulate SMs in parallel; they share only the atomic global memory.
     let mut results: Vec<SmStats> = Vec::with_capacity(cfg.num_sms as usize);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = per_sm_blocks
             .iter()
             .map(|blocks| {
-                scope.spawn(move |_| {
-                    run_sm(cfg, kernel, &dims, params, mem, blocks, blocks_per_sm)
+                scope.spawn(move || match decoded {
+                    Some(d) => run_sm(cfg, kernel, d, &dims, params, mem, blocks, blocks_per_sm),
+                    None => {
+                        run_sm_reference(cfg, kernel, &dims, params, mem, blocks, blocks_per_sm)
+                    }
                 })
             })
             .collect();
         for h in handles {
             results.push(h.join().expect("SM simulation thread panicked"));
         }
-    })
-    .expect("simulation scope panicked");
+    });
 
     Ok(KernelStats::merge(
         &kernel.name,
@@ -122,4 +163,156 @@ pub fn launch(
         blocks_per_sm,
         dims.total_blocks(),
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g80_isa::builder::KernelBuilder;
+
+    /// A one-parameter kernel that stores tid to the param address.
+    fn tiny_kernel() -> Kernel {
+        let mut bk = KernelBuilder::new("tiny");
+        let p = bk.param();
+        let tid = bk.tid_x();
+        let byte = bk.shl(tid, 2u32);
+        let addr = bk.iadd(byte, p);
+        bk.st_global(addr, 0, tid);
+        bk.build()
+    }
+
+    fn setup() -> (GpuConfig, Kernel, DeviceMemory) {
+        (
+            GpuConfig::geforce_8800_gtx(),
+            tiny_kernel(),
+            DeviceMemory::new(1 << 16),
+        )
+    }
+
+    fn dims(grid: (u32, u32), block: (u32, u32, u32)) -> LaunchDims {
+        LaunchDims { grid, block }
+    }
+
+    #[test]
+    fn zero_block_dim_is_rejected() {
+        let (cfg, k, mem) = setup();
+        let r = launch(
+            &cfg,
+            &k,
+            dims((1, 1), (0, 1, 1)),
+            &[Value::from_u32(0)],
+            &mem,
+        );
+        assert!(matches!(r, Err(LaunchError::BadBlockDims(_))), "{r:?}");
+    }
+
+    #[test]
+    fn oversized_block_is_rejected() {
+        let (cfg, k, mem) = setup();
+        // 32x32 = 1024 threads > the 512-thread CC 1.0 limit.
+        let r = launch(
+            &cfg,
+            &k,
+            dims((1, 1), (32, 32, 1)),
+            &[Value::from_u32(0)],
+            &mem,
+        );
+        assert!(matches!(r, Err(LaunchError::BadBlockDims(_))), "{r:?}");
+    }
+
+    #[test]
+    fn zero_grid_dim_is_rejected() {
+        let (cfg, k, mem) = setup();
+        let r = launch(
+            &cfg,
+            &k,
+            dims((0, 1), (32, 1, 1)),
+            &[Value::from_u32(0)],
+            &mem,
+        );
+        assert!(matches!(r, Err(LaunchError::BadGridDims(_))), "{r:?}");
+        let r = launch(
+            &cfg,
+            &k,
+            dims((1, 0), (32, 1, 1)),
+            &[Value::from_u32(0)],
+            &mem,
+        );
+        assert!(matches!(r, Err(LaunchError::BadGridDims(_))), "{r:?}");
+    }
+
+    #[test]
+    fn oversized_grid_dim_is_rejected() {
+        let (cfg, k, mem) = setup();
+        let r = launch(
+            &cfg,
+            &k,
+            dims((65536, 1), (32, 1, 1)),
+            &[Value::from_u32(0)],
+            &mem,
+        );
+        assert!(matches!(r, Err(LaunchError::BadGridDims(_))), "{r:?}");
+    }
+
+    #[test]
+    fn wrong_param_count_is_rejected() {
+        let (cfg, k, mem) = setup();
+        let r = launch(&cfg, &k, dims((1, 1), (32, 1, 1)), &[], &mem);
+        assert!(matches!(r, Err(LaunchError::BadParams(_))), "{r:?}");
+        let two = [Value::from_u32(0), Value::from_u32(0)];
+        let r = launch(&cfg, &k, dims((1, 1), (32, 1, 1)), &two, &mem);
+        assert!(matches!(r, Err(LaunchError::BadParams(_))), "{r:?}");
+    }
+
+    #[test]
+    fn block_exceeding_smem_does_not_fit() {
+        let (cfg, _, mem) = setup();
+        let mut bk = KernelBuilder::new("smem_hog");
+        let p = bk.param();
+        // One word more shared memory than an SM has.
+        bk.shared_alloc(cfg.smem_per_sm / 4 + 1);
+        let tid = bk.tid_x();
+        let byte = bk.shl(tid, 2u32);
+        let addr = bk.iadd(byte, p);
+        bk.st_global(addr, 0, tid);
+        let k = bk.build();
+        let r = launch(
+            &cfg,
+            &k,
+            dims((1, 1), (32, 1, 1)),
+            &[Value::from_u32(0)],
+            &mem,
+        );
+        assert!(matches!(r, Err(LaunchError::BlockDoesNotFit(_))), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "32-lane warps")]
+    fn non_32_lane_warp_config_panics() {
+        let (mut cfg, k, mem) = setup();
+        cfg.warp_size = 16;
+        let _ = launch(
+            &cfg,
+            &k,
+            dims((1, 1), (32, 1, 1)),
+            &[Value::from_u32(0)],
+            &mem,
+        );
+    }
+
+    #[test]
+    fn valid_launch_succeeds_and_errors_display() {
+        let (cfg, k, mem) = setup();
+        let stats = launch(
+            &cfg,
+            &k,
+            dims((2, 1), (32, 1, 1)),
+            &[Value::from_u32(0)],
+            &mem,
+        )
+        .expect("valid launch");
+        assert_eq!(stats.total_threads, 64);
+        let e = LaunchError::BadBlockDims("kernel t: 0 threads per block".into());
+        assert!(e.to_string().contains("threads per block"));
+    }
 }

@@ -59,11 +59,12 @@ pub mod config;
 pub mod counters;
 pub mod launch;
 pub mod memory;
+pub mod reference;
 pub mod sm;
 pub mod warp;
 
 pub use config::GpuConfig;
 pub use counters::{KernelStats, StallReason};
-pub use launch::{launch, LaunchError};
+pub use launch::{engine, launch, set_engine, Engine, LaunchError};
 pub use memory::DeviceMemory;
 pub use sm::LaunchDims;

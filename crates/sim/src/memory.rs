@@ -193,7 +193,89 @@ pub fn smem_conflict_degree(cfg: &GpuConfig, addrs: &[Option<u32>; 16]) -> u32 {
             per_bank[bank].push(*a);
         }
     }
-    per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0).max(1)
+    per_bank
+        .iter()
+        .map(|v| v.len() as u32)
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+/// Allocation-free twin of [`coalesce_half_warp`]: same result for every
+/// input, computed in stack buffers. The predecoded engine calls this in
+/// its hot loop; the reference engine keeps the original, which is part of
+/// its frozen host-cost baseline.
+pub fn coalesce_half_warp_noalloc(cfg: &GpuConfig, addrs: &[Option<u32>; 16]) -> HalfWarpAccess {
+    let mut lanes = [0u32; 16];
+    let mut act = [0u32; 16];
+    let mut n = 0usize;
+    for (i, a) in addrs.iter().enumerate() {
+        if let Some(a) = *a {
+            lanes[n] = i as u32;
+            act[n] = a;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return HalfWarpAccess {
+            coalesced: true,
+            transactions: 0,
+            bytes: 0,
+        };
+    }
+
+    // Segment base from any active lane: lane k at word k of the segment.
+    let base = act[0].wrapping_sub(lanes[0] * 4);
+    let aligned = base % (cfg.coalesced_txn_bytes) == 0;
+    let coalesced = aligned && (0..n).all(|k| act[k] == base + lanes[k] * 4);
+
+    if coalesced {
+        HalfWarpAccess {
+            coalesced: true,
+            transactions: 1,
+            bytes: cfg.coalesced_txn_bytes as u64,
+        }
+    } else {
+        let mut distinct = n as u32;
+        if cfg.combine_duplicates {
+            let s = &mut act[..n];
+            s.sort_unstable();
+            distinct = 1;
+            for k in 1..n {
+                if s[k] != s[k - 1] {
+                    distinct += 1;
+                }
+            }
+        }
+        HalfWarpAccess {
+            coalesced: false,
+            transactions: distinct,
+            bytes: distinct as u64 * cfg.uncoalesced_txn_bytes as u64,
+        }
+    }
+}
+
+/// Allocation-free twin of [`smem_conflict_degree`]: same result for every
+/// input. A shared-memory address maps to exactly one bank, so the
+/// per-bank distinct-address count equals a global first-occurrence scan
+/// bumping that bank's counter. Falls back to the allocating version for
+/// configs with more banks than the stack buffer covers.
+pub fn smem_conflict_degree_noalloc(cfg: &GpuConfig, addrs: &[Option<u32>; 16]) -> u32 {
+    let nbanks = cfg.smem_banks as usize;
+    if nbanks > 64 {
+        return smem_conflict_degree(cfg, addrs);
+    }
+    let mut counts = [0u32; 64];
+    let mut seen = [0u32; 16];
+    let mut nseen = 0usize;
+    for a in addrs.iter().flatten() {
+        if !seen[..nseen].contains(a) {
+            seen[nseen] = *a;
+            nseen += 1;
+            counts[((a / 4) as usize) % nbanks] += 1;
+        }
+    }
+    counts[..nbanks].iter().copied().max().unwrap_or(0).max(1)
 }
 
 /// A direct-mapped per-SM cache model (tags only — data comes from the
@@ -365,6 +447,100 @@ mod tests {
     fn oob_read_panics() {
         let m = DeviceMemory::new(64);
         m.read(64);
+    }
+
+    #[test]
+    fn mixed_half_warp_scattered_lanes_coalesce_at_their_slots() {
+        // Active lanes 1, 5, 12 each at word k of the segment: coalesces.
+        let mut a = [None; 16];
+        for lane in [1usize, 5, 12] {
+            a[lane] = Some(0x4000 + (lane as u32) * 4);
+        }
+        let r = coalesce_half_warp(&cfg(), &a);
+        assert!(r.coalesced);
+        assert_eq!(r.transactions, 1);
+
+        // One of them off its slot breaks the whole half-warp.
+        a[5] = Some(0x4000 + 6 * 4);
+        let r = coalesce_half_warp(&cfg(), &a);
+        assert!(!r.coalesced);
+        assert_eq!(r.transactions, 3);
+    }
+
+    #[test]
+    fn unaligned_segment_base_never_coalesces() {
+        // A single active lane whose implied segment base is not 64 B
+        // aligned: lane 0 at 0x1010 puts the base mid-segment.
+        let mut a = [None; 16];
+        a[0] = Some(0x1010);
+        let r = coalesce_half_warp(&cfg(), &a);
+        assert!(!r.coalesced);
+        assert_eq!(r.transactions, 1);
+        assert_eq!(r.bytes, cfg().uncoalesced_txn_bytes as u64);
+    }
+
+    /// The allocation-free twins must agree with the originals on every
+    /// access shape the engine can produce. Sweeps structured patterns and
+    /// an LCG-driven random battery under both duplicate-combining modes.
+    #[test]
+    fn noalloc_twins_match_originals() {
+        let mut cfgs = [cfg(), cfg()];
+        cfgs[1].combine_duplicates = true;
+
+        let mut patterns: Vec<[Option<u32>; 16]> = vec![
+            [None; 16],
+            lanes(&(0..16).map(|i| 0x1000 + i * 4).collect::<Vec<_>>()),
+            lanes(&(0..16).map(|i| 0x1004 + i * 4).collect::<Vec<_>>()),
+            lanes(&(0..16).map(|i| 0x1000 + i * 8).collect::<Vec<_>>()),
+            lanes(&[0x2000u32; 16]),
+            lanes(&(0..16).map(|i| i * 64).collect::<Vec<_>>()),
+        ];
+        // Deterministic LCG battery: random addresses, random lane masks.
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..200 {
+            let mask = next() & 0xffff;
+            let mut a = [None; 16];
+            for (lane, slot) in a.iter_mut().enumerate() {
+                if mask & (1 << lane) != 0 {
+                    // Word-aligned addresses in a small window so duplicates
+                    // and shared-bank collisions actually occur.
+                    *slot = Some((next() % 256) * 4);
+                }
+            }
+            patterns.push(a);
+        }
+
+        for c in &cfgs {
+            for a in &patterns {
+                assert_eq!(
+                    coalesce_half_warp(c, a),
+                    coalesce_half_warp_noalloc(c, a),
+                    "coalesce twins disagree on {a:?}"
+                );
+                assert_eq!(
+                    smem_conflict_degree(c, a),
+                    smem_conflict_degree_noalloc(c, a),
+                    "smem twins disagree on {a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tag_cache_eviction_is_per_set() {
+        let mut c = TagCache::new(128, 32); // 4 direct-mapped lines
+        assert!(!c.access(0)); // set 0 cold
+        assert!(!c.access(32)); // set 1 cold
+        assert!(!c.access(128)); // set 0 conflict, evicts line 0
+        assert!(c.access(128 + 28)); // line 4 now resident in set 0
+        assert!(c.access(32)); // set 1 untouched by set 0 eviction
+        assert!(!c.access(0)); // line 0 was indeed evicted
     }
 
     #[test]

@@ -15,15 +15,44 @@
 //! inter-block races except commutative atomics) observe exactly the values
 //! hardware would produce, while timing still exhibits latency, queueing,
 //! coalescing, divergence and bank-conflict effects.
+//!
+//! # The predecoded hot loop
+//!
+//! This engine consumes a [`DecodedKernel`] (see [`g80_isa::decode`]) and is
+//! written to keep the scheduler's steady state allocation-free:
+//!
+//! * **readiness is a gate-list scan** — each micro-op carries its
+//!   precomputed scoreboard gate set (source registers + WAW destination),
+//!   so [`inst_ready`] indexes the scoreboard directly instead of walking
+//!   instruction operands;
+//! * **the warp schedule is incremental** — all resident blocks share one
+//!   geometry, so refilling a retired block in place preserves the
+//!   round-robin order; the schedule is rebuilt only when the grid tail
+//!   shrinks the resident set, and the retire scan itself runs only after
+//!   some warp actually retired;
+//! * **coalescing scratch is pooled** — the constant-space `distinct` and
+//!   texture-space `lines` working sets live in a per-SM [`Scratch`] reused
+//!   across accesses;
+//! * **register files and shared memory are recycled** — a retired block's
+//!   [`Resident`] storage is reset in place for the next block instead of
+//!   being reallocated (the degenerate form of a free pool when every block
+//!   has the same shape).
+//!
+//! None of this may change simulated timing: [`crate::reference`] keeps the
+//! original engine as an executable spec, and the `golden_stats` test
+//! asserts bit-identical [`crate::KernelStats`] between the two.
 
 #![allow(clippy::too_many_arguments)] // load/store helpers mirror the instruction fields
 
 use crate::config::GpuConfig;
 use crate::counters::{SmStats, StallReason};
-use crate::memory::{coalesce_half_warp, smem_conflict_degree, DeviceMemory, TagCache};
+use crate::memory::{
+    coalesce_half_warp_noalloc, smem_conflict_degree_noalloc, DeviceMemory, TagCache,
+};
 use crate::warp::{RegSource, Warp};
+use g80_isa::decode::{DecodedKernel, IssueClass, MicroOp};
 use g80_isa::exec;
-use g80_isa::inst::{AluOp, Inst, Operand, Space};
+use g80_isa::inst::{Inst, InstClass, Operand, Space};
 use g80_isa::{Kernel, Value};
 
 /// Grid/block geometry of a launch.
@@ -64,15 +93,46 @@ impl Resident {
         }
     }
 
+    /// Recycles this slot's register files and shared memory for a new block
+    /// of the same launch: equivalent to `Resident::new` with the same
+    /// geometry, but without reallocating.
+    fn reset(&mut self, ctaid: (u32, u32)) {
+        for w in &mut self.warps {
+            w.reset(ctaid);
+        }
+        self.smem.fill(Value::ZERO);
+    }
+
     fn all_done(&self) -> bool {
         self.warps.iter().all(|w| w.done)
     }
+}
+
+/// One schedule entry: a resident warp plus its cached stall verdict.
+#[derive(Copy, Clone)]
+struct Slot {
+    bi: usize,
+    wi: usize,
+    /// `(ready_at, reason)` from the last scan that found the warp stalled;
+    /// exact until the warp issues, its block releases a barrier, or the
+    /// slot is refilled.
+    cached: Option<(u64, StallReason)>,
+}
+
+/// Reusable per-SM working buffers for the memory path.
+#[derive(Default)]
+struct Scratch {
+    /// Distinct constant-space addresses of one warp access.
+    distinct: Vec<u32>,
+    /// Distinct texture lines of one warp access.
+    lines: Vec<u32>,
 }
 
 /// Simulates one SM over its assigned blocks. Deterministic.
 pub fn run_sm(
     cfg: &GpuConfig,
     kernel: &Kernel,
+    decoded: &DecodedKernel,
     dims: &LaunchDims,
     params: &[Value],
     mem: &DeviceMemory,
@@ -92,38 +152,74 @@ pub fn run_sm(
     let mut chan_free: u64 = 0;
     let mut const_cache = TagCache::new(cfg.const_cache_bytes, 64);
     let mut tex_cache = TagCache::new(cfg.tex_cache_bytes, cfg.tex_line_bytes);
+    let mut scratch = Scratch::default();
+    // Dense per-class instruction counters, folded into the by_class map
+    // once at the end (a per-instruction HashMap update is hot-loop cost).
+    let mut class_counts = [0u64; InstClass::COUNT];
     let mut rr: usize = 0;
 
+    // The flattened warp schedule, maintained incrementally: every block of
+    // a launch has the same warp count, so an in-place refill leaves the
+    // schedule unchanged; only removing a slot (grid tail) invalidates it.
+    //
+    // Each slot also caches the warp's last computed stall verdict. A
+    // stalled warp's (ready_at, reason) depends only on its own state
+    // (frames, scoreboard, resume_at), which changes exactly when the warp
+    // issues, its block releases a barrier, or the slot is refilled with a
+    // new block — the three places that clear the cache below. Between
+    // those events the scan skips the settle + gate-list recomputation.
+    let mut order: Vec<Slot> = Vec::new();
+    let mut order_stale = true;
+    // A block's all_done() can only flip after some warp retires; gate the
+    // retire/refill scan on that event instead of re-checking every
+    // scheduler iteration.
+    let mut check_retire = true;
+
     loop {
-        // Retire completed blocks, refill from the queue.
-        let mut i = 0;
-        while i < resident.len() {
-            if resident[i].all_done() {
-                stats.blocks_executed += 1;
-                match queue.next() {
-                    Some(ctaid) => {
-                        resident[i] =
-                            Resident::new(kernel.regs_per_thread, kernel, dims, ctaid);
-                        i += 1;
+        if check_retire {
+            check_retire = false;
+            // Retire completed blocks, refill from the queue.
+            let mut i = 0;
+            while i < resident.len() {
+                if resident[i].all_done() {
+                    stats.blocks_executed += 1;
+                    match queue.next() {
+                        Some(ctaid) => {
+                            resident[i].reset(ctaid);
+                            for s in order.iter_mut() {
+                                if s.bi == i {
+                                    s.cached = None;
+                                }
+                            }
+                            i += 1;
+                        }
+                        None => {
+                            resident.remove(i);
+                            order_stale = true;
+                        }
                     }
-                    None => {
-                        resident.remove(i);
-                    }
+                } else {
+                    i += 1;
                 }
-            } else {
-                i += 1;
             }
         }
         if resident.is_empty() {
             break;
         }
 
-        // Flatten the warp schedule.
-        let order: Vec<(usize, usize)> = resident
-            .iter()
-            .enumerate()
-            .flat_map(|(bi, r)| (0..r.warps.len()).map(move |wi| (bi, wi)))
-            .collect();
+        if order_stale {
+            order_stale = false;
+            order.clear();
+            for (bi, r) in resident.iter().enumerate() {
+                for wi in 0..r.warps.len() {
+                    order.push(Slot {
+                        bi,
+                        wi,
+                        cached: None,
+                    });
+                }
+            }
+        }
         let n = order.len();
 
         // Scan for a ready warp, remembering the earliest future candidate.
@@ -131,23 +227,44 @@ pub fn run_sm(
         let mut best_next: u64 = u64::MAX;
         let mut best_reason = StallReason::Drain;
         for k in 0..n {
-            let (bi, wi) = order[(rr + k) % n];
+            let idx = (rr + k) % n;
+            let Slot { bi, wi, cached } = order[idx];
             let block = &mut resident[bi];
             let warp = &mut block.warps[wi];
             if warp.done || warp.at_barrier {
                 continue;
             }
-            if !warp.settle() {
-                continue; // retired just now
-            }
-            let pc = warp.pc() as usize;
-            let inst = &kernel.code[pc];
-            let (reg_ready, gate) = inst_ready(warp, inst);
-            // A post-barrier pipeline drain dominates register readiness:
-            // attribute that wait to the barrier, not the ALU/memory.
-            let barrier_gated = warp.resume_at > reg_ready;
-            let ready_at = reg_ready.max(warp.resume_at);
+            let (ready_at, reason) = match cached {
+                Some(c) => c,
+                None => {
+                    if !warp.settle() {
+                        check_retire = true;
+                        continue; // retired just now
+                    }
+                    let pc = warp.pc() as usize;
+                    let mop = &decoded.ops[pc];
+                    let (reg_ready, gate) = inst_ready(warp, mop);
+                    // A post-barrier pipeline drain dominates register
+                    // readiness: attribute that wait to the barrier, not
+                    // the ALU/memory.
+                    let reason = if warp.resume_at > reg_ready {
+                        StallReason::Barrier
+                    } else {
+                        match gate {
+                            Some(RegSource::Memory) => StallReason::Memory,
+                            Some(RegSource::Alu) => StallReason::AluDependency,
+                            // Defensive: gate is None only when no register
+                            // is pending, and then the wait is a barrier
+                            // drain (handled above) — unreachable today.
+                            None => StallReason::IssueBusy,
+                        }
+                    };
+                    (reg_ready.max(warp.resume_at), reason)
+                }
+            };
             if ready_at <= cycle {
+                let pc = warp.pc() as usize;
+                let mop = &decoded.ops[pc];
                 let mut ctx = ExecCtx {
                     cfg,
                     kernel,
@@ -157,46 +274,44 @@ pub fn run_sm(
                     chan_free: &mut chan_free,
                     const_cache: &mut const_cache,
                     tex_cache: &mut tex_cache,
+                    scratch: &mut scratch,
+                    class_counts: &mut class_counts,
                     cycle,
                 };
-                let dur = ctx.execute(block, wi);
+                let dur = ctx.execute(block, wi, mop);
                 cycle += dur;
                 rr = (rr + k + 1) % n;
                 issued = true;
+                order[idx].cached = None; // the warp advanced
 
                 // Barrier release: if every live warp of the block is now
                 // parked, free them all. This must be checked both when a
                 // warp parks AND when a warp exits — an exiting warp can be
                 // the last one its parked siblings were waiting for.
                 let block = &mut resident[bi];
+                if block.warps[wi].done {
+                    check_retire = true;
+                }
                 if block.warps[wi].at_barrier || block.warps[wi].done {
                     let any_parked = block.warps.iter().any(|w| w.at_barrier);
-                    let all_parked = block
-                        .warps
-                        .iter()
-                        .all(|w| w.done || w.at_barrier);
+                    let all_parked = block.warps.iter().all(|w| w.done || w.at_barrier);
                     if any_parked && all_parked {
                         let resume = cycle + cfg.barrier_latency;
                         for w in block.warps.iter_mut() {
                             w.at_barrier = false;
                             w.resume_at = resume;
                         }
+                        // resume_at moved for the whole block.
+                        for s in order.iter_mut() {
+                            if s.bi == bi {
+                                s.cached = None;
+                            }
+                        }
                     }
                 }
                 break;
             } else {
-                let reason = if barrier_gated {
-                    StallReason::Barrier
-                } else {
-                    match gate {
-                        Some(RegSource::Memory) => StallReason::Memory,
-                        Some(RegSource::Alu) => StallReason::AluDependency,
-                        // Defensive: gate is None only when no register is
-                        // pending, and then the wait is a barrier drain
-                        // (handled above) — this arm is unreachable today.
-                        None => StallReason::IssueBusy,
-                    }
-                };
+                order[idx].cached = Some((ready_at, reason));
                 if ready_at < best_next {
                     best_next = ready_at;
                     best_reason = reason;
@@ -210,8 +325,9 @@ pub fn run_sm(
 
         if best_next == u64::MAX {
             // Every live warp is parked at a barrier but the block never
-            // filled — or warps retired during the scan; re-run the retire
-            // loop. A genuine deadlock (divergent barrier) is a kernel bug.
+            // filled — or warps retired during the scan (check_retire is
+            // set, so the retire loop runs next). A genuine deadlock
+            // (divergent barrier) is a kernel bug.
             let any_live = resident
                 .iter()
                 .any(|b| b.warps.iter().any(|w| !w.done && !w.at_barrier));
@@ -231,32 +347,32 @@ pub fn run_sm(
         cycle += skip;
     }
 
+    for c in InstClass::ALL {
+        let n = class_counts[c.index()];
+        if n > 0 {
+            *stats.by_class.entry(c).or_insert(0) += n;
+        }
+    }
     stats.cycles = cycle;
     stats
 }
 
 /// (earliest cycle at which the instruction's registers are ready, the
 /// source kind of the gating register).
-fn inst_ready(warp: &Warp, inst: &Inst) -> (u64, Option<RegSource>) {
-    // Allocation-free: this runs on every readiness check of the scheduler's
-    // inner scan, the hottest path in the simulator.
+///
+/// The micro-op's precomputed gate set lists exactly the registers the
+/// reference engine's operand walk would consider, in the same order, so
+/// the strict-`>` max keeps the same gate attribution.
+#[inline]
+fn inst_ready(warp: &Warp, mop: &MicroOp) -> (u64, Option<RegSource>) {
     let mut t = 0u64;
     let mut gate = None;
-    let mut consider = |r: u32| {
+    for &r in mop.gate_regs() {
         let ready = warp.reg_ready[r as usize];
         if ready > t {
             t = ready;
             gate = Some(warp.reg_source[r as usize]);
         }
-    };
-    // (for_each_use covers branch predicates too)
-    inst.for_each_use(|op| {
-        if let g80_isa::Operand::Reg(r) = op {
-            consider(r.0);
-        }
-    });
-    if let Some(d) = inst.def() {
-        consider(d.0); // WAW hazard
     }
     (t, gate)
 }
@@ -270,27 +386,32 @@ struct ExecCtx<'a> {
     chan_free: &'a mut u64,
     const_cache: &'a mut TagCache,
     tex_cache: &'a mut TagCache,
+    scratch: &'a mut Scratch,
+    class_counts: &'a mut [u64; InstClass::COUNT],
     cycle: u64,
 }
 
-/// Builds the two half-warp address arrays for the active lanes.
-fn half_warp_addrs(
-    warp: &Warp,
-    addr_op: Operand,
-    off: i32,
-    params: &[Value],
-) -> ([Option<u32>; 16], [Option<u32>; 16]) {
+/// Per-lane effective addresses of a memory instruction (the address
+/// operand is resolved once for the whole warp).
+#[inline]
+fn addr_row(warp: &Warp, addr_op: Operand, off: i32, params: &[Value]) -> [u32; 32] {
+    let row = warp.operand_row(addr_op, params);
+    std::array::from_fn(|l| row[l].as_u32().wrapping_add(off as u32))
+}
+
+/// Splits an address row into the two half-warp arrays the coalescing and
+/// bank-conflict models consume (active lanes only).
+#[inline]
+fn split_half_warps(addrs: &[u32; 32], mask: u32) -> ([Option<u32>; 16], [Option<u32>; 16]) {
     let mut lo = [None; 16];
     let mut hi = [None; 16];
-    for lane in warp.active_lanes() {
-        let a = warp
-            .operand(addr_op, lane, params)
-            .as_u32()
-            .wrapping_add(off as u32);
-        if lane < 16 {
-            lo[lane] = Some(a);
-        } else {
-            hi[lane - 16] = Some(a);
+    for lane in 0..32 {
+        if mask >> lane & 1 == 1 {
+            if lane < 16 {
+                lo[lane] = Some(addrs[lane]);
+            } else {
+                hi[lane - 16] = Some(addrs[lane]);
+            }
         }
     }
     (lo, hi)
@@ -309,112 +430,84 @@ impl<'a> ExecCtx<'a> {
 
     /// Executes the next instruction of warp `wi` in `block`. Returns the
     /// issue-port occupancy in cycles.
-    fn execute(&mut self, block: &mut Resident, wi: usize) -> u64 {
+    fn execute(&mut self, block: &mut Resident, wi: usize, mop: &MicroOp) -> u64 {
         let cfg = self.cfg;
         let smem_len = block.smem.len();
         let warp = &mut block.warps[wi];
         let pc = warp.pc() as usize;
-        let inst = self.kernel.code[pc];
+        let inst = mop.inst;
         let mask = warp.active_mask();
         let lanes = mask.count_ones();
-        self.stats.count_inst(inst.class(), lanes, inst.flops());
+        self.stats.warp_instructions += 1;
+        self.stats.thread_instructions += lanes as u64;
+        self.stats.flops += mop.flops as u64 * lanes as u64;
+        self.class_counts[mop.class.index()] += 1;
 
         let alu_done = self.cycle + cfg.alu_latency;
         match inst {
             Inst::Alu { op, dst, a, b } => {
-                for lane in 0..32 {
-                    if mask >> lane & 1 == 1 {
-                        let av = warp.operand(a, lane, self.params);
-                        let bv = warp.operand(b, lane, self.params);
-                        warp.set_reg(dst.0, lane, exec::eval_alu(op, av, bv));
-                    }
-                }
+                let ar = warp.operand_row(a, self.params);
+                let br = warp.operand_row(b, self.params);
+                exec::eval_alu_row(op, &ar, &br, warp.reg_row_mut(dst.0), mask);
                 warp.reg_ready[dst.0 as usize] = alu_done;
                 warp.reg_source[dst.0 as usize] = RegSource::Alu;
                 warp.advance();
-                if matches!(op, AluOp::IMul) {
+                if mop.issue == IssueClass::Imul {
                     cfg.imul_issue_cycles
                 } else {
                     cfg.issue_cycles
                 }
             }
             Inst::Ffma { dst, a, b, c } => {
-                for lane in 0..32 {
-                    if mask >> lane & 1 == 1 {
-                        let av = warp.operand(a, lane, self.params);
-                        let bv = warp.operand(b, lane, self.params);
-                        let cv = warp.operand(c, lane, self.params);
-                        warp.set_reg(dst.0, lane, exec::eval_ffma(av, bv, cv));
-                    }
-                }
+                let ar = warp.operand_row(a, self.params);
+                let br = warp.operand_row(b, self.params);
+                let cr = warp.operand_row(c, self.params);
+                exec::eval_ffma_row(&ar, &br, &cr, warp.reg_row_mut(dst.0), mask);
                 warp.reg_ready[dst.0 as usize] = alu_done;
                 warp.reg_source[dst.0 as usize] = RegSource::Alu;
                 warp.advance();
                 cfg.issue_cycles
             }
             Inst::Imad { dst, a, b, c } => {
-                for lane in 0..32 {
-                    if mask >> lane & 1 == 1 {
-                        let av = warp.operand(a, lane, self.params);
-                        let bv = warp.operand(b, lane, self.params);
-                        let cv = warp.operand(c, lane, self.params);
-                        warp.set_reg(dst.0, lane, exec::eval_imad(av, bv, cv));
-                    }
-                }
+                let ar = warp.operand_row(a, self.params);
+                let br = warp.operand_row(b, self.params);
+                let cr = warp.operand_row(c, self.params);
+                exec::eval_imad_row(&ar, &br, &cr, warp.reg_row_mut(dst.0), mask);
                 warp.reg_ready[dst.0 as usize] = alu_done;
                 warp.reg_source[dst.0 as usize] = RegSource::Alu;
                 warp.advance();
                 cfg.imul_issue_cycles
             }
             Inst::Un { op, dst, a } => {
-                for lane in 0..32 {
-                    if mask >> lane & 1 == 1 {
-                        let av = warp.operand(a, lane, self.params);
-                        warp.set_reg(dst.0, lane, exec::eval_un(op, av));
-                    }
-                }
+                let ar = warp.operand_row(a, self.params);
+                exec::eval_un_row(op, &ar, warp.reg_row_mut(dst.0), mask);
                 warp.reg_ready[dst.0 as usize] = alu_done;
                 warp.reg_source[dst.0 as usize] = RegSource::Alu;
                 warp.advance();
                 cfg.issue_cycles
             }
             Inst::Sfu { op, dst, a } => {
-                for lane in 0..32 {
-                    if mask >> lane & 1 == 1 {
-                        let av = warp.operand(a, lane, self.params);
-                        warp.set_reg(dst.0, lane, exec::eval_sfu(op, av));
-                    }
-                }
+                let ar = warp.operand_row(a, self.params);
+                exec::eval_sfu_row(op, &ar, warp.reg_row_mut(dst.0), mask);
                 warp.reg_ready[dst.0 as usize] = self.cycle + cfg.sfu_latency;
                 warp.reg_source[dst.0 as usize] = RegSource::Alu;
                 warp.advance();
                 cfg.sfu_issue_cycles
             }
             Inst::SetP { op, ty, dst, a, b } => {
-                for lane in 0..32 {
-                    if mask >> lane & 1 == 1 {
-                        let av = warp.operand(a, lane, self.params);
-                        let bv = warp.operand(b, lane, self.params);
-                        warp.set_reg(dst.0, lane, exec::eval_cmp(op, ty, av, bv));
-                    }
-                }
+                let ar = warp.operand_row(a, self.params);
+                let br = warp.operand_row(b, self.params);
+                exec::eval_cmp_row(op, ty, &ar, &br, warp.reg_row_mut(dst.0), mask);
                 warp.reg_ready[dst.0 as usize] = alu_done;
                 warp.reg_source[dst.0 as usize] = RegSource::Alu;
                 warp.advance();
                 cfg.issue_cycles
             }
             Inst::Sel { dst, c, a, b } => {
-                for lane in 0..32 {
-                    if mask >> lane & 1 == 1 {
-                        let cv = warp.operand(c, lane, self.params);
-                        let v = if cv.as_bool() {
-                            warp.operand(a, lane, self.params)
-                        } else {
-                            warp.operand(b, lane, self.params)
-                        };
-                        warp.set_reg(dst.0, lane, v);
-                    }
-                }
+                let cr = warp.operand_row(c, self.params);
+                let ar = warp.operand_row(a, self.params);
+                let br = warp.operand_row(b, self.params);
+                exec::eval_sel_row(&cr, &ar, &br, warp.reg_row_mut(dst.0), mask);
                 warp.reg_ready[dst.0 as usize] = alu_done;
                 warp.reg_source[dst.0 as usize] = RegSource::Alu;
                 warp.advance();
@@ -450,18 +543,15 @@ impl<'a> ExecCtx<'a> {
             } => {
                 let (warps, smem) = (&mut block.warps, &mut block.smem);
                 let warp = &mut warps[wi];
+                let addrs = addr_row(warp, addr, off, self.params);
+                let srcs = warp.operand_row(src, self.params);
                 let completion;
                 match space {
                     Space::Global => {
                         let mut bytes = 0u64;
                         for lane in 0..32 {
                             if mask >> lane & 1 == 1 {
-                                let a = warp
-                                    .operand(addr, lane, self.params)
-                                    .as_u32()
-                                    .wrapping_add(off as u32);
-                                let s = warp.operand(src, lane, self.params);
-                                let old = self.mem.atomic(op, a, s);
+                                let old = self.mem.atomic(op, addrs[lane], srcs[lane]);
                                 if let Some(d) = dst {
                                     warp.set_reg(d.0, lane, old);
                                 }
@@ -475,14 +565,9 @@ impl<'a> ExecCtx<'a> {
                     Space::Shared => {
                         for lane in 0..32 {
                             if mask >> lane & 1 == 1 {
-                                let a = warp
-                                    .operand(addr, lane, self.params)
-                                    .as_u32()
-                                    .wrapping_add(off as u32);
-                                let idx = (a / 4) as usize;
+                                let idx = (addrs[lane] / 4) as usize;
                                 assert!(idx < smem_len, "shared atomic out of bounds");
-                                let s = warp.operand(src, lane, self.params);
-                                let (new, old) = exec::eval_atom(op, smem[idx], s);
+                                let (new, old) = exec::eval_atom(op, smem[idx], srcs[lane]);
                                 smem[idx] = new;
                                 if let Some(d) = dst {
                                     warp.set_reg(d.0, lane, old);
@@ -515,13 +600,11 @@ impl<'a> ExecCtx<'a> {
                         warp.take_branch(m, target.0, reconv.0, next_pc);
                     }
                     Some(p) => {
+                        let preds = warp.reg_row(p.reg.0);
                         let mut taken = 0u32;
-                        for lane in 0..32 {
-                            if mask >> lane & 1 == 1 {
-                                let v = warp.reg(p.reg.0, lane).as_bool();
-                                if v != p.negate {
-                                    taken |= 1 << lane;
-                                }
+                        for (lane, pv) in preds.iter().enumerate() {
+                            if mask >> lane & 1 == 1 && pv.as_bool() != p.negate {
+                                taken |= 1 << lane;
                             }
                         }
                         if warp.take_branch(taken, target.0, reconv.0, next_pc) {
@@ -573,10 +656,11 @@ impl<'a> ExecCtx<'a> {
         let mask = warp.active_mask();
         match space {
             Space::Global => {
-                let (lo, hi) = half_warp_addrs(warp, addr, off, self.params);
+                let addrs = addr_row(warp, addr, off, self.params);
+                let (lo, hi) = split_half_warps(&addrs, mask);
                 let mut bytes = 0u64;
                 for half in [&lo, &hi] {
-                    let acc = coalesce_half_warp(cfg, half);
+                    let acc = coalesce_half_warp_noalloc(cfg, half);
                     if acc.transactions > 0 {
                         if acc.coalesced {
                             self.stats.coalesced_half_warps += 1;
@@ -588,12 +672,8 @@ impl<'a> ExecCtx<'a> {
                     }
                 }
                 self.stats.global_bytes += bytes;
-                for lane in 0..32 {
+                for (lane, &a) in addrs.iter().enumerate() {
                     if mask >> lane & 1 == 1 {
-                        let a = warp
-                            .operand(addr, lane, self.params)
-                            .as_u32()
-                            .wrapping_add(off as u32);
                         let v = self.mem.read(a);
                         warp.set_reg(dst, lane, v);
                     }
@@ -604,17 +684,16 @@ impl<'a> ExecCtx<'a> {
                 cfg.issue_cycles
             }
             Space::Shared => {
-                let (lo, hi) = half_warp_addrs(warp, addr, off, self.params);
-                let degree = smem_conflict_degree(cfg, &lo).max(smem_conflict_degree(cfg, &hi));
+                let addrs = addr_row(warp, addr, off, self.params);
+                let (lo, hi) = split_half_warps(&addrs, mask);
+                let degree = smem_conflict_degree_noalloc(cfg, &lo)
+                    .max(smem_conflict_degree_noalloc(cfg, &hi));
                 let extra = cfg.issue_cycles * (degree as u64 - 1);
                 self.stats.smem_conflict_extra_cycles += extra;
+                let dst_row = warp.reg_row_mut(dst);
                 for lane in 0..32 {
                     if mask >> lane & 1 == 1 {
-                        let a = warp
-                            .operand(addr, lane, self.params)
-                            .as_u32()
-                            .wrapping_add(off as u32);
-                        let idx = (a / 4) as usize;
+                        let idx = (addrs[lane] / 4) as usize;
                         assert!(
                             idx < smem_len,
                             "kernel {}: shared load out of bounds ({} >= {})",
@@ -622,8 +701,7 @@ impl<'a> ExecCtx<'a> {
                             idx,
                             smem_len
                         );
-                        let v = smem[idx];
-                        warp.set_reg(dst, lane, v);
+                        dst_row[lane] = smem[idx];
                     }
                 }
                 warp.reg_ready[dst as usize] = self.cycle + cfg.smem_latency + extra;
@@ -633,14 +711,13 @@ impl<'a> ExecCtx<'a> {
             Space::Const => {
                 // Distinct addresses within the warp serialize; each line
                 // goes through the per-SM constant cache. A broadcast (one
-                // address) is as fast as a register read.
-                let mut distinct: Vec<u32> = Vec::new();
-                for lane in 0..32 {
+                // address) is as fast as a register read. The distinct-set
+                // buffer is per-SM scratch, reused across accesses.
+                let addrs = addr_row(warp, addr, off, self.params);
+                let distinct = &mut self.scratch.distinct;
+                distinct.clear();
+                for (lane, &a) in addrs.iter().enumerate() {
                     if mask >> lane & 1 == 1 {
-                        let a = warp
-                            .operand(addr, lane, self.params)
-                            .as_u32()
-                            .wrapping_add(off as u32);
                         if !distinct.contains(&a) {
                             distinct.push(a);
                         }
@@ -649,7 +726,7 @@ impl<'a> ExecCtx<'a> {
                     }
                 }
                 let mut miss_bytes = 0u64;
-                for &a in &distinct {
+                for &a in distinct.iter() {
                     if self.const_cache.access(a) {
                         self.stats.const_hits += 1;
                     } else {
@@ -657,6 +734,8 @@ impl<'a> ExecCtx<'a> {
                         miss_bytes += 64;
                     }
                 }
+                // Serialization beyond the broadcast case.
+                let ser = (distinct.len().max(1) as u64 - 1) * 2;
                 let ready = if miss_bytes > 0 {
                     self.stats.global_bytes += miss_bytes;
                     self.memory_request(miss_bytes)
@@ -669,18 +748,14 @@ impl<'a> ExecCtx<'a> {
                 } else {
                     RegSource::Alu
                 };
-                // Serialization beyond the broadcast case.
-                let ser = (distinct.len().max(1) as u64 - 1) * 2;
                 cfg.issue_cycles + ser
             }
             Space::Tex => {
-                let mut lines: Vec<u32> = Vec::new();
-                for lane in 0..32 {
+                let addrs = addr_row(warp, addr, off, self.params);
+                let lines = &mut self.scratch.lines;
+                lines.clear();
+                for (lane, &a) in addrs.iter().enumerate() {
                     if mask >> lane & 1 == 1 {
-                        let a = warp
-                            .operand(addr, lane, self.params)
-                            .as_u32()
-                            .wrapping_add(off as u32);
                         let g = self.mem.tex_to_global(a);
                         let line = g / cfg.tex_line_bytes;
                         if !lines.contains(&line) {
@@ -691,7 +766,8 @@ impl<'a> ExecCtx<'a> {
                     }
                 }
                 let mut miss_bytes = 0u64;
-                for &line in &lines {
+                for i in 0..lines.len() {
+                    let line = self.scratch.lines[i];
                     if self.tex_cache.access(line * cfg.tex_line_bytes) {
                         self.stats.tex_hits += 1;
                     } else {
@@ -712,13 +788,10 @@ impl<'a> ExecCtx<'a> {
                 cfg.issue_cycles
             }
             Space::Local => {
+                let addrs = addr_row(warp, addr, off, self.params);
                 let mut bytes = 0u64;
-                for lane in 0..32 {
+                for (lane, &a) in addrs.iter().enumerate() {
                     if mask >> lane & 1 == 1 {
-                        let a = warp
-                            .operand(addr, lane, self.params)
-                            .as_u32()
-                            .wrapping_add(off as u32);
                         let v = warp.local_read(lane, a);
                         warp.set_reg(dst, lane, v);
                         bytes += cfg.uncoalesced_txn_bytes as u64;
@@ -749,10 +822,12 @@ impl<'a> ExecCtx<'a> {
         let mask = warp.active_mask();
         match space {
             Space::Global => {
-                let (lo, hi) = half_warp_addrs(warp, addr, off, self.params);
+                let addrs = addr_row(warp, addr, off, self.params);
+                let srcs = warp.operand_row(src, self.params);
+                let (lo, hi) = split_half_warps(&addrs, mask);
                 let mut bytes = 0u64;
                 for half in [&lo, &hi] {
-                    let acc = coalesce_half_warp(cfg, half);
+                    let acc = coalesce_half_warp_noalloc(cfg, half);
                     if acc.transactions > 0 {
                         if acc.coalesced {
                             self.stats.coalesced_half_warps += 1;
@@ -766,31 +841,23 @@ impl<'a> ExecCtx<'a> {
                 self.stats.global_bytes += bytes;
                 for lane in 0..32 {
                     if mask >> lane & 1 == 1 {
-                        let a = warp
-                            .operand(addr, lane, self.params)
-                            .as_u32()
-                            .wrapping_add(off as u32);
-                        let v = warp.operand(src, lane, self.params);
-                        self.mem.write(a, v);
+                        self.mem.write(addrs[lane], srcs[lane]);
                     }
                 }
                 let _ = self.memory_request(bytes); // bandwidth only
                 cfg.issue_cycles
             }
             Space::Shared => {
-                let (lo, hi) = half_warp_addrs(warp, addr, off, self.params);
-                let degree = smem_conflict_degree(cfg, &lo).max(smem_conflict_degree(cfg, &hi));
+                let addrs = addr_row(warp, addr, off, self.params);
+                let srcs = warp.operand_row(src, self.params);
+                let (lo, hi) = split_half_warps(&addrs, mask);
+                let degree = smem_conflict_degree_noalloc(cfg, &lo)
+                    .max(smem_conflict_degree_noalloc(cfg, &hi));
                 let extra = cfg.issue_cycles * (degree as u64 - 1);
                 self.stats.smem_conflict_extra_cycles += extra;
                 for lane in 0..32 {
                     if mask >> lane & 1 == 1 {
-                        let warp = &block.warps[wi];
-                        let a = warp
-                            .operand(addr, lane, self.params)
-                            .as_u32()
-                            .wrapping_add(off as u32);
-                        let v = warp.operand(src, lane, self.params);
-                        let idx = (a / 4) as usize;
+                        let idx = (addrs[lane] / 4) as usize;
                         assert!(
                             idx < smem_len,
                             "kernel {}: shared store out of bounds ({} >= {})",
@@ -798,21 +865,18 @@ impl<'a> ExecCtx<'a> {
                             idx,
                             smem_len
                         );
-                        block.smem[idx] = v;
+                        block.smem[idx] = srcs[lane];
                     }
                 }
                 cfg.issue_cycles + extra
             }
             Space::Local => {
+                let addrs = addr_row(warp, addr, off, self.params);
+                let srcs = warp.operand_row(src, self.params);
                 let mut bytes = 0u64;
                 for lane in 0..32 {
                     if mask >> lane & 1 == 1 {
-                        let a = warp
-                            .operand(addr, lane, self.params)
-                            .as_u32()
-                            .wrapping_add(off as u32);
-                        let v = warp.operand(src, lane, self.params);
-                        warp.local_write(lane, a, v);
+                        warp.local_write(lane, addrs[lane], srcs[lane]);
                         bytes += cfg.uncoalesced_txn_bytes as u64;
                     }
                 }

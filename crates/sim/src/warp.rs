@@ -108,6 +108,30 @@ impl Warp {
         }
     }
 
+    /// Reinitializes this warp for a new block of the same launch, reusing
+    /// the register file, scoreboard, and local-memory allocations.
+    /// Equivalent to `Warp::new` with the same geometry (block dimensions
+    /// and warp index are launch constants, so `tids` and `init_mask` carry
+    /// over) but allocation-free.
+    pub fn reset(&mut self, ctaid: (u32, u32)) {
+        self.frames.clear();
+        self.frames.push(Frame {
+            pc: 0,
+            rpc: NO_RPC,
+            mask: self.init_mask,
+        });
+        self.regs.fill(Value::ZERO);
+        self.reg_ready.fill(0);
+        self.reg_source.fill(RegSource::Alu);
+        for lane in &mut self.local {
+            lane.clear(); // reads lazily re-zero (local_read resizes with ZERO)
+        }
+        self.at_barrier = false;
+        self.resume_at = 0;
+        self.done = self.init_mask == 0;
+        self.ctaid = ctaid;
+    }
+
     /// Pops finished paths; afterwards the top frame (if any) is executable.
     /// Returns false if the warp has fully retired.
     pub fn settle(&mut self) -> bool {
@@ -147,6 +171,35 @@ impl Warp {
     #[inline]
     pub fn set_reg(&mut self, r: u32, lane: usize, v: Value) {
         self.regs[(r as usize) * 32 + lane] = v;
+    }
+
+    /// A register's full 32-lane row.
+    #[inline]
+    pub fn reg_row(&self, r: u32) -> &[Value; 32] {
+        let base = (r as usize) * 32;
+        (&self.regs[base..base + 32]).try_into().unwrap()
+    }
+
+    /// A register's full 32-lane row, mutably.
+    #[inline]
+    pub fn reg_row_mut(&mut self, r: u32) -> &mut [Value; 32] {
+        let base = (r as usize) * 32;
+        (&mut self.regs[base..base + 32]).try_into().unwrap()
+    }
+
+    /// Evaluates an operand for all 32 lanes at once. Operand reads are
+    /// pure, so materializing inactive lanes is harmless; copying the row
+    /// out resolves the operand kind once per instruction (instead of per
+    /// lane) and decouples the sources from a destination row that may
+    /// alias them.
+    #[inline]
+    pub fn operand_row(&self, op: Operand, params: &[Value]) -> [Value; 32] {
+        match op {
+            Operand::Reg(r) => *self.reg_row(r.0),
+            Operand::Imm(v) => [v; 32],
+            Operand::Param(i) => [params[i as usize]; 32],
+            Operand::Special(_) => std::array::from_fn(|lane| self.operand(op, lane, params)),
+        }
     }
 
     /// Evaluates an operand for one lane.

@@ -39,14 +39,16 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
         any::<bool>(),
         0u32..64,
     )
-        .prop_map(|(body_ops, trips, unroll_sel, accs, diverge, threshold)| Recipe {
-            body_ops,
-            trips,
-            unroll_sel,
-            accs,
-            diverge,
-            threshold,
-        })
+        .prop_map(
+            |(body_ops, trips, unroll_sel, accs, diverge, threshold)| Recipe {
+                body_ops,
+                trips,
+                unroll_sel,
+                accs,
+                diverge,
+                threshold,
+            },
+        )
 }
 
 /// Builds the kernel for a recipe. Every thread reads one input word and

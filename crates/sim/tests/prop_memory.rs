@@ -96,7 +96,7 @@ proptest! {
     #[test]
     fn broadcast_is_conflict_free(addr in (0u32..1 << 18).prop_map(|w| w * 4)) {
         let cfg = GpuConfig::geforce_8800_gtx();
-        let hw = lanes(&vec![Some(addr); 16]);
+        let hw = lanes(&[Some(addr); 16]);
         prop_assert_eq!(smem_conflict_degree(&cfg, &hw), 1);
     }
 

@@ -89,16 +89,8 @@ fn misaligned_access_is_uncoalesced_and_slower() {
     let misaligned = build(4);
 
     let mem = DeviceMemory::new(n * 4 + 64);
-    let run = |k: &Kernel| {
-        launch(
-            &gtx(),
-            k,
-            dims1d(n / 256, 256),
-            &[Value::from_u32(0)],
-            &mem,
-        )
-        .unwrap()
-    };
+    let run =
+        |k: &Kernel| launch(&gtx(), k, dims1d(n / 256, 256), &[Value::from_u32(0)], &mem).unwrap();
     let sa = run(&aligned);
     let sm = run(&misaligned);
     assert_eq!(sa.uncoalesced_half_warps, 0);
@@ -385,9 +377,7 @@ fn register_pressure_reduces_occupancy_and_performance() {
     let k10 = build().with_forced_regs(10);
     let k11 = build().with_forced_regs(11);
     let mem = DeviceMemory::new(1 << 20);
-    let run = |k: &Kernel| {
-        launch(&gtx(), k, dims1d(96, 256), &[Value::from_u32(0)], &mem).unwrap()
-    };
+    let run = |k: &Kernel| launch(&gtx(), k, dims1d(96, 256), &[Value::from_u32(0)], &mem).unwrap();
     let s10 = run(&k10);
     let s11 = run(&k11);
     assert_eq!(s10.blocks_per_sm, 3);
@@ -444,7 +434,14 @@ fn texture_fetches_cache_neighbouring_reads() {
         mem.write(n * 4 + j * 4, Value::from_f32(j as f32)); // texture source
     }
     mem.tex_binding = Some((n * 4, n * 4));
-    let stats = launch(&gtx(), &k, dims1d(n / 256, 256), &[Value::from_u32(0)], &mem).unwrap();
+    let stats = launch(
+        &gtx(),
+        &k,
+        dims1d(n / 256, 256),
+        &[Value::from_u32(0)],
+        &mem,
+    )
+    .unwrap();
     for j in (0..n).step_by(41) {
         assert_eq!(mem.read(j * 4).as_f32(), 2.0 * j as f32);
     }
@@ -566,11 +563,18 @@ fn partial_warps_respect_the_warp_context_limit() {
     let stats = launch(
         &cfg,
         &k,
-        LaunchDims { grid: (32, 1), block: (97, 1, 1) },
+        LaunchDims {
+            grid: (32, 1),
+            block: (97, 1, 1),
+        },
         &[Value::from_u32(0)],
         &mem,
     )
     .unwrap();
     assert!(stats.blocks_per_sm <= 6);
-    assert!(stats.occupancy() <= 1.0 + 1e-9, "occupancy {}", stats.occupancy());
+    assert!(
+        stats.occupancy() <= 1.0 + 1e-9,
+        "occupancy {}",
+        stats.occupancy()
+    );
 }

@@ -35,8 +35,7 @@ fn main() {
         let err = rms_rel_error(&out, &reference);
         let mass: f64 = out.iter().map(|&v| v as f64).sum();
         assert!((mass - mass0).abs() / mass0 < 1e-5, "mass not conserved");
-        let mlups =
-            (lbm.n as f64).powi(2) * lbm.steps as f64 / (stats.elapsed * 1e6);
+        let mlups = (lbm.n as f64).powi(2) * lbm.steps as f64 / (stats.elapsed * 1e6);
         println!(
             "{:<34} {:>8.1} {:>12} {:>12} {:>9.1e}",
             layout.label(),
@@ -47,8 +46,6 @@ fn main() {
         );
     }
 
-    println!(
-        "\nSame physics, same FLOPs — only the half-warp access pattern changed."
-    );
+    println!("\nSame physics, same FLOPs — only the half-warp access pattern changed.");
     println!("That is Figure 5 of the paper, with the transaction counters to prove it.");
 }

@@ -22,11 +22,17 @@ fn main() {
         ("start: one thread per element, no reuse", Variant::Naive),
         (
             "tile into shared memory (16x16)",
-            Variant::Tiled { tile: 16, unroll: false },
+            Variant::Tiled {
+                tile: 16,
+                unroll: false,
+            },
         ),
         (
             "fully unroll the dot-product loop",
-            Variant::Tiled { tile: 16, unroll: true },
+            Variant::Tiled {
+                tile: 16,
+                unroll: true,
+            },
         ),
         ("prefetch the next tile", Variant::Prefetch { tile: 16 }),
     ] {

@@ -10,9 +10,9 @@
 //! cargo run --release --example mri_reconstruction
 //! ```
 
+use g80::apps::common::rms_rel_error;
 use g80::apps::mrifhd::MriFhd;
 use g80::apps::mriq::MriQ;
-use g80::apps::common::rms_rel_error;
 
 fn main() {
     let q = MriQ {

@@ -35,7 +35,10 @@ fn main() {
     b.st_global(addr, 0, r);
     let kernel = b.build();
 
-    println!("compiled kernel:\n{}", g80::isa::disasm::disassemble(&kernel));
+    println!(
+        "compiled kernel:\n{}",
+        g80::isa::disasm::disassemble(&kernel)
+    );
 
     // Launch: 256 blocks of 256 threads.
     let stats = dev
@@ -44,7 +47,10 @@ fn main() {
 
     // Verify.
     let out = dev.copy_from_device(&buf);
-    assert!(out.iter().enumerate().all(|(i, &v)| v == i as f32 * 3.0 + 1.0));
+    assert!(out
+        .iter()
+        .enumerate()
+        .all(|(i, &v)| v == i as f32 * 3.0 + 1.0));
     println!("result verified: y[i] = 3*i + 1 for {n} elements\n");
 
     // What the counters say.

@@ -16,8 +16,14 @@ fn matmul_all_variants_agree_with_reference() {
     let want = mm.cpu_reference(&a, &b);
     for v in [
         Variant::Naive,
-        Variant::Tiled { tile: 8, unroll: false },
-        Variant::Tiled { tile: 16, unroll: true },
+        Variant::Tiled {
+            tile: 8,
+            unroll: false,
+        },
+        Variant::Tiled {
+            tile: 16,
+            unroll: true,
+        },
         Variant::Prefetch { tile: 16 },
     ] {
         let (got, _, _) = mm.run(v, &a, &b);
@@ -32,8 +38,14 @@ fn section4_ordering_holds_end_to_end() {
     let (a, b) = mm.generate(2);
     let gflops = |v| mm.run(v, &a, &b).1.gflops();
     let naive = gflops(Variant::Naive);
-    let tiled = gflops(Variant::Tiled { tile: 16, unroll: false });
-    let unrolled = gflops(Variant::Tiled { tile: 16, unroll: true });
+    let tiled = gflops(Variant::Tiled {
+        tile: 16,
+        unroll: false,
+    });
+    let unrolled = gflops(Variant::Tiled {
+        tile: 16,
+        unroll: true,
+    });
     assert!(tiled > 2.5 * naive, "tiling: {naive} -> {tiled}");
     assert!(unrolled > 1.5 * tiled, "unrolling: {tiled} -> {unrolled}");
 }
@@ -46,15 +58,22 @@ fn occupancy_calculator_matches_launch_reality() {
     let (a, b) = mm.generate(3);
     for v in [
         Variant::Naive,
-        Variant::Tiled { tile: 8, unroll: true },
-        Variant::Tiled { tile: 16, unroll: false },
+        Variant::Tiled {
+            tile: 8,
+            unroll: true,
+        },
+        Variant::Tiled {
+            tile: 16,
+            unroll: false,
+        },
     ] {
         let k = mm.kernel(v);
         let edge = v.block_edge();
         let predicted = kernel_occupancy(&cfg, &k, edge * edge);
         let (_, stats, _) = mm.run(v, &a, &b);
         assert_eq!(
-            predicted.blocks_per_sm, stats.blocks_per_sm,
+            predicted.blocks_per_sm,
+            stats.blocks_per_sm,
             "{}: calculator vs scheduler",
             v.label()
         );
@@ -68,7 +87,14 @@ fn the_four_principles_in_one_kernel_family() {
     // run's counters.
     let mm = MatMul { n: 128 };
     let (a, b) = mm.generate(4);
-    let (_, stats, _) = mm.run(Variant::Tiled { tile: 16, unroll: true }, &a, &b);
+    let (_, stats, _) = mm.run(
+        Variant::Tiled {
+            tile: 16,
+            unroll: true,
+        },
+        &a,
+        &b,
+    );
 
     // P1: full occupancy was reachable and latency mostly hidden.
     assert_eq!(stats.blocks_per_sm, 3);
@@ -107,8 +133,12 @@ fn device_roundtrip_and_occupancy_limits() {
     };
     let k = build();
     assert!(k.regs_per_thread > 16);
-    assert!(dev.launch(&k, (1, 1), (512, 1, 1), &[buf.as_param()]).is_err());
-    assert!(dev.launch(&k, (1, 1), (128, 1, 1), &[buf.as_param()]).is_ok());
+    assert!(dev
+        .launch(&k, (1, 1), (512, 1, 1), &[buf.as_param()])
+        .is_err());
+    assert!(dev
+        .launch(&k, (1, 1), (128, 1, 1), &[buf.as_param()])
+        .is_ok());
 }
 
 #[test]
@@ -119,7 +149,10 @@ fn analytical_model_brackets_measured_performance() {
     let (a, b) = mm.generate(5);
     for v in [
         Variant::Naive,
-        Variant::Tiled { tile: 16, unroll: true },
+        Variant::Tiled {
+            tile: 16,
+            unroll: true,
+        },
     ] {
         let (_, stats, _) = mm.run(v, &a, &b);
         let est = estimate(&cfg, &stats);
@@ -130,10 +163,18 @@ fn analytical_model_brackets_measured_performance() {
             stats.gflops(),
             est.potential_gflops
         );
-        assert!(est.efficiency > 0.15, "{}: eff {}", v.label(), est.efficiency);
+        assert!(
+            est.efficiency > 0.15,
+            "{}: eff {}",
+            v.label(),
+            est.efficiency
+        );
     }
     let (_, naive, _) = mm.run(Variant::Naive, &a, &b);
-    assert_eq!(estimate(&cfg, &naive).bottleneck, Bottleneck::MemoryBandwidth);
+    assert_eq!(
+        estimate(&cfg, &naive).bottleneck,
+        Bottleneck::MemoryBandwidth
+    );
 }
 
 #[test]
@@ -178,7 +219,10 @@ fn compiler_optimization_levels_are_consistent() {
             b.ffma_to(acc, t, 0.5f32, acc);
         });
         b.st_global(a, 0, acc);
-        b.build_with(BuildOptions { opt, max_regs: None })
+        b.build_with(BuildOptions {
+            opt,
+            max_regs: None,
+        })
     };
     let k0 = build(OptLevel::O0);
     let k2 = build(OptLevel::O2);
@@ -186,14 +230,11 @@ fn compiler_optimization_levels_are_consistent() {
     assert!(k2.regs_per_thread <= k0.regs_per_thread);
 
     let run = |k: &g80::isa::Kernel| {
-        
-        {
-            let mut d = Device::new(4096);
-            let buf = d.alloc::<f32>(64);
-            d.copy_to_device(&buf, &(0..64).map(|i| i as f32).collect::<Vec<_>>());
-            d.launch(k, (1, 1), (64, 1, 1), &[buf.as_param()]).unwrap();
-            d.copy_from_device(&buf)
-        }
+        let mut d = Device::new(4096);
+        let buf = d.alloc::<f32>(64);
+        d.copy_to_device(&buf, &(0..64).map(|i| i as f32).collect::<Vec<_>>());
+        d.launch(k, (1, 1), (64, 1, 1), &[buf.as_param()]).unwrap();
+        d.copy_from_device(&buf)
     };
     assert_eq!(run(&k0), run(&k2));
 }
@@ -202,7 +243,10 @@ fn compiler_optimization_levels_are_consistent() {
 fn deterministic_across_repeated_launches() {
     let mm = MatMul { n: 96 };
     let (a, b) = mm.generate(6);
-    let v = Variant::Tiled { tile: 16, unroll: true };
+    let v = Variant::Tiled {
+        tile: 16,
+        unroll: true,
+    };
     let (o1, s1, _) = mm.run(v, &a, &b);
     let (o2, s2, _) = mm.run(v, &a, &b);
     assert_eq!(o1, o2);
