@@ -11,10 +11,10 @@
 //!   current tile's computation, at the price of two more registers.
 
 use crate::common;
-use g80_cuda::{CpuWork, Device, Timeline};
+use g80_cuda::{BatchLaunch, CpuWork, Device, DeviceBuffer, Timeline};
 use g80_isa::builder::{KernelBuilder, Unroll};
 use g80_isa::inst::{CmpOp, Operand, Pred, Scalar};
-use g80_isa::{Kernel, Reg};
+use g80_isa::{Kernel, Reg, Value};
 use g80_sim::KernelStats;
 
 /// Which matmul kernel to build.
@@ -394,6 +394,73 @@ impl MatMul {
         let c = dev.copy_from_device(&dc);
         (c, stats, dev.timeline())
     }
+
+    /// Runs many variants as **one batched launch** — each variant on its
+    /// own fresh device, all launches sharing the simulator's predecode
+    /// cache and worker pool (see [`g80_cuda::launch_batch`]). Results are
+    /// in `variants` order and bit-identical to per-variant [`MatMul::run`]
+    /// calls.
+    pub fn run_batch(
+        &self,
+        variants: &[Variant],
+        a: &[f32],
+        bm: &[f32],
+    ) -> Vec<(Vec<f32>, KernelStats, Timeline)> {
+        let n = self.n;
+        let elems = (n * n) as usize;
+        assert_eq!(a.len(), elems);
+        assert_eq!(bm.len(), elems);
+
+        struct Prep {
+            dev: Device,
+            kernel: Kernel,
+            params: [Value; 3],
+            dc: DeviceBuffer<f32>,
+        }
+        let preps: Vec<Prep> = variants
+            .iter()
+            .map(|&v| {
+                let mut dev = Device::new(3 * n * n * 4 + 4096);
+                let da = dev.alloc::<f32>(elems);
+                let db = dev.alloc::<f32>(elems);
+                let dc = dev.alloc::<f32>(elems);
+                dev.copy_to_device(&da, a);
+                dev.copy_to_device(&db, bm);
+                Prep {
+                    kernel: self.kernel(v),
+                    params: [da.as_param(), db.as_param(), dc.as_param()],
+                    dc,
+                    dev,
+                }
+            })
+            .collect();
+        let entries: Vec<BatchLaunch> = variants
+            .iter()
+            .zip(&preps)
+            .map(|(&v, p)| {
+                let t = v.block_edge();
+                let (bx, by) = v.block_shape();
+                BatchLaunch {
+                    device: &p.dev,
+                    kernel: &p.kernel,
+                    grid: (n / t, n / t),
+                    block: (bx, by, 1),
+                    params: &p.params,
+                }
+            })
+            .collect();
+        let results = g80_cuda::launch_batch(&entries);
+        variants
+            .iter()
+            .zip(&preps)
+            .zip(results)
+            .map(|((v, p), r)| {
+                let stats =
+                    r.unwrap_or_else(|e| panic!("matmul launch failed ({}): {e}", v.label()));
+                (p.dev.copy_from_device(&p.dc), stats, p.dev.timeline())
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -466,6 +533,33 @@ mod tests {
             regtiled.gflops(),
             unrolled.gflops()
         );
+    }
+
+    #[test]
+    fn batched_run_matches_per_variant_runs_bit_for_bit() {
+        let mm = MatMul { n: 64 };
+        let (a, b) = mm.generate(7);
+        let variants = [
+            Variant::Naive,
+            Variant::Tiled {
+                tile: 8,
+                unroll: false,
+            },
+            Variant::Tiled {
+                tile: 16,
+                unroll: true,
+            },
+            Variant::RegTiled { tile: 16 },
+        ];
+        let batched = mm.run_batch(&variants, &a, &b);
+        assert_eq!(batched.len(), variants.len());
+        for (&v, (c, stats, timeline)) in variants.iter().zip(&batched) {
+            let (want_c, want_stats, _) = mm.run(v, &a, &b);
+            assert_eq!(c, &want_c, "{}", v.label());
+            assert_eq!(stats.cycles, want_stats.cycles, "{}", v.label());
+            assert_eq!(stats.flops, want_stats.flops, "{}", v.label());
+            assert_eq!(timeline.launches, 1);
+        }
     }
 
     #[test]

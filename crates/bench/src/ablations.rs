@@ -22,18 +22,27 @@ pub struct Fig5Row {
 pub fn figure5(n: u32, steps: u32) -> Vec<Fig5Row> {
     let l = Lbm { n, steps };
     let f0 = l.initial_state();
-    [Layout::Aos, Layout::Soa, Layout::SoaStaged]
+    let layouts = [Layout::Aos, Layout::Soa, Layout::SoaStaged];
+    // The three layout runs are independent; evaluate them as pool tasks.
+    let runs = g80_sim::pool::run_tasks(
+        layouts
+            .iter()
+            .map(|&layout| {
+                let (l, f0) = (&l, &f0);
+                move || l.run(f0, layout).1
+            })
+            .collect(),
+    );
+    layouts
         .into_iter()
-        .map(|layout| {
-            let (_, s, _) = l.run(&f0, layout);
-            Fig5Row {
-                label: layout.label(),
-                coalesced_half_warps: s.coalesced_half_warps,
-                uncoalesced_half_warps: s.uncoalesced_half_warps,
-                dram_bytes: s.global_bytes,
-                cycles: s.cycles,
-                mlups: (n as f64 * n as f64 * steps as f64) / (s.elapsed * 1e6),
-            }
+        .zip(runs)
+        .map(|(layout, s)| Fig5Row {
+            label: layout.label(),
+            coalesced_half_warps: s.coalesced_half_warps,
+            uncoalesced_half_warps: s.uncoalesced_half_warps,
+            dram_bytes: s.global_bytes,
+            cycles: s.cycles,
+            mlups: (n as f64 * n as f64 * steps as f64) / (s.elapsed * 1e6),
         })
         .collect()
 }
@@ -103,16 +112,21 @@ pub fn rc5_rotate() -> (f64, f64, f64) {
 }
 
 pub fn render_ablations() -> String {
+    // The three ablation studies are independent pool tasks (each one's
+    // two launches nest on the same pool).
+    type Study = fn() -> (f64, f64, f64);
+    let studies: Vec<Study> = vec![sad_texture, mri_sfu, rc5_rotate];
+    let results = g80_sim::pool::run_tasks(studies);
     let mut s = String::new();
-    let (g, t, gain) = sad_texture();
+    let (g, t, gain) = results[0];
     s.push_str(&format!(
         "SAD reference frame:   global {g:.2} ms  texture {t:.2} ms  -> {gain:.2}x (paper: 2.8x)\n"
     ));
-    let (sfu, poly, gain) = mri_sfu();
+    let (sfu, poly, gain) = results[1];
     s.push_str(&format!(
         "MRI-Q trigonometry:    SFU {sfu:.2} ms  SP polynomial {poly:.2} ms  -> {gain:.2}x (paper: ~30% of speedup)\n"
     ));
-    let (emu, nat, gain) = rc5_rotate();
+    let (emu, nat, gain) = results[2];
     s.push_str(&format!(
         "RC5 modulus-shift:     emulated {emu:.2} ms  native {nat:.2} ms  -> {gain:.2}x (paper: 'several times higher')\n"
     ));

@@ -13,8 +13,8 @@
 //!    kind of assumption drift the paper warns about).
 
 use g80_apps::matmul::{MatMul, Variant};
-use g80_cuda::Device;
-use g80_sim::{GpuConfig, KernelStats};
+use g80_cuda::{BatchLaunch, Device};
+use g80_sim::GpuConfig;
 
 /// One architecture's sweep results.
 #[derive(Clone, Debug)]
@@ -27,23 +27,45 @@ pub struct ArchResult {
     pub best: String,
 }
 
-fn run_on(cfg: &GpuConfig, mm: &MatMul, v: Variant, a: &[f32], b: &[f32]) -> KernelStats {
+/// Runs every variant on one machine as a single batched launch (batches
+/// cannot mix configs, so each architecture is its own batch).
+fn sweep_on(cfg: &GpuConfig, mm: &MatMul, variants: &[Variant], a: &[f32], b: &[f32]) -> Vec<f64> {
     let n = mm.n;
-    let mut dev = Device::with_config(cfg.clone(), 3 * n * n * 4 + 4096);
-    let da = dev.alloc::<f32>((n * n) as usize);
-    let db = dev.alloc::<f32>((n * n) as usize);
-    let dc = dev.alloc::<f32>((n * n) as usize);
-    dev.copy_to_device(&da, a);
-    dev.copy_to_device(&db, b);
-    let k = mm.kernel(v);
-    let t = v.block_edge();
-    dev.launch(
-        &k,
-        (n / t, n / t),
-        (t, t, 1),
-        &[da.as_param(), db.as_param(), dc.as_param()],
-    )
-    .unwrap_or_else(|e| panic!("arch study launch ({}): {e}", v.label()))
+    let preps: Vec<_> = variants
+        .iter()
+        .map(|&v| {
+            let mut dev = Device::with_config(cfg.clone(), 3 * n * n * 4 + 4096);
+            let da = dev.alloc::<f32>((n * n) as usize);
+            let db = dev.alloc::<f32>((n * n) as usize);
+            let dc = dev.alloc::<f32>((n * n) as usize);
+            dev.copy_to_device(&da, a);
+            dev.copy_to_device(&db, b);
+            let params = [da.as_param(), db.as_param(), dc.as_param()];
+            (mm.kernel(v), dev, params)
+        })
+        .collect();
+    let entries: Vec<BatchLaunch> = variants
+        .iter()
+        .zip(&preps)
+        .map(|(&v, (k, dev, params))| {
+            let t = v.block_edge();
+            BatchLaunch {
+                device: dev,
+                kernel: k,
+                grid: (n / t, n / t),
+                block: (t, t, 1),
+                params,
+            }
+        })
+        .collect();
+    variants
+        .iter()
+        .zip(g80_cuda::launch_batch(&entries))
+        .map(|(v, r)| {
+            r.unwrap_or_else(|e| panic!("arch study launch ({}): {e}", v.label()))
+                .gflops()
+        })
+        .collect()
 }
 
 /// Sweeps the matmul config space across the three machines.
@@ -73,9 +95,11 @@ pub fn run(n: u32) -> Vec<ArchResult> {
     ]
     .into_iter()
     .map(|(arch, cfg)| {
+        let gflops = sweep_on(&cfg, &mm, &variants, &a, &b);
         let results: Vec<(String, f64)> = variants
             .iter()
-            .map(|&v| (v.label(), run_on(&cfg, &mm, v, &a, &b).gflops()))
+            .zip(gflops)
+            .map(|(&v, g)| (v.label(), g))
             .collect();
         let best = results
             .iter()

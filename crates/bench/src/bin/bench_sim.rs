@@ -1,27 +1,33 @@
-//! Host-performance benchmark of the two timing engines.
+//! Host-performance benchmark of the simulator's execution strategies.
 //!
-//! Runs identical workloads through the frozen reference engine and the
-//! predecoded engine and reports wall-clock seconds plus the speedup
-//! ratio. The simulated `KernelStats` of both engines are asserted
-//! bit-identical for every workload along the way (cheap insurance on
-//! top of `tests/golden_stats.rs`).
+//! Two comparisons, both on identical workloads with bit-identical
+//! simulated `KernelStats` asserted along the way:
 //!
-//! Writes a JSON report to the path given as the first argument
+//! * **engines** — the frozen reference interpreter vs the predecoded
+//!   engine (PR 1), single-launch wall clock;
+//! * **sweeps** — the per-launch `thread::scope` spawn baseline
+//!   (`Executor::SpawnPerLaunch`, under which `launch_batch` degrades to a
+//!   serial launch loop) vs the pooled batched path (`Executor::Pooled`),
+//!   on fleet workloads: the full Figure 4 sweep, a tuner-style fleet of
+//!   many small launches, and the 12-app suite at test scale.
+//!
+//! Writes a JSON report to the path given as the last argument
 //! (default `BENCH_sim.json`). The committed copy at the repo root is
 //! regenerated with:
 //!
 //! ```text
 //! cargo run --release -p g80-bench --bin bench_sim -- BENCH_sim.json
 //! ```
+//!
+//! `--check` runs fewer repetitions and is what CI's benchmark-floor job
+//! uses; the speedup floors are asserted in every mode.
 
 use g80_apps::matmul::{MatMul, Variant};
 use g80_apps::saxpy::Saxpy;
 use g80_apps::tpacf::Tpacf;
-use g80_sim::{set_engine, Engine, KernelStats};
+use g80_bench::{matmul_study, suite};
+use g80_sim::{set_engine, set_executor, Engine, Executor, KernelStats};
 use std::time::Instant;
-
-/// Timed runs per engine per workload (after one warm-up run).
-const RUNS: usize = 5;
 
 struct Row {
     name: &'static str,
@@ -35,13 +41,17 @@ impl Row {
     }
 }
 
-/// Minimum wall-clock over `RUNS` timed executions (min is the standard
+/// Minimum wall-clock over `runs` timed executions (min is the standard
 /// low-noise estimator for a deterministic workload).
-fn time_engine(engine: Engine, run: &mut dyn FnMut() -> KernelStats) -> (f64, KernelStats) {
+fn time_engine(
+    engine: Engine,
+    runs: usize,
+    run: &mut dyn FnMut() -> KernelStats,
+) -> (f64, KernelStats) {
     set_engine(engine);
     let stats = run(); // warm-up; also the stats sample for the A/B check
     let mut best = f64::INFINITY;
-    for _ in 0..RUNS {
+    for _ in 0..runs {
         let t0 = Instant::now();
         run();
         best = best.min(t0.elapsed().as_secs_f64());
@@ -49,9 +59,9 @@ fn time_engine(engine: Engine, run: &mut dyn FnMut() -> KernelStats) -> (f64, Ke
     (best, stats)
 }
 
-fn bench(name: &'static str, mut run: impl FnMut() -> KernelStats) -> Row {
-    let (reference_s, ref_stats) = time_engine(Engine::Reference, &mut run);
-    let (predecoded_s, pre_stats) = time_engine(Engine::Predecoded, &mut run);
+fn bench(name: &'static str, runs: usize, mut run: impl FnMut() -> KernelStats) -> Row {
+    let (reference_s, ref_stats) = time_engine(Engine::Reference, runs, &mut run);
+    let (predecoded_s, pre_stats) = time_engine(Engine::Predecoded, runs, &mut run);
     assert_eq!(
         (
             ref_stats.cycles,
@@ -80,10 +90,70 @@ fn bench(name: &'static str, mut run: impl FnMut() -> KernelStats) -> Row {
     row
 }
 
+struct SweepRow {
+    name: &'static str,
+    spawn_s: f64,
+    pooled_s: f64,
+}
+
+impl SweepRow {
+    fn speedup(&self) -> f64 {
+        self.spawn_s / self.pooled_s
+    }
+}
+
+/// Times a fleet workload under both executors. `run` returns a
+/// fingerprint of the simulated results, asserted identical across
+/// executors (the pool must move *where* work runs, never *what* it
+/// computes).
+fn bench_sweep(name: &'static str, runs: usize, mut run: impl FnMut() -> u64) -> SweepRow {
+    let mut time_executor = |ex: Executor| {
+        set_executor(ex);
+        let fp = run(); // warm-up + fingerprint sample
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            run();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (best, fp)
+    };
+    let (spawn_s, spawn_fp) = time_executor(Executor::SpawnPerLaunch);
+    let (pooled_s, pooled_fp) = time_executor(Executor::Pooled);
+    set_executor(Executor::Pooled);
+    assert_eq!(
+        spawn_fp, pooled_fp,
+        "{name}: executors disagree on simulated results"
+    );
+    let row = SweepRow {
+        name,
+        spawn_s,
+        pooled_s,
+    };
+    eprintln!(
+        "{:<24} spawn     {:>8.4}s  pooled     {:>8.4}s  speedup {:>5.2}x",
+        row.name,
+        row.spawn_s,
+        row.pooled_s,
+        row.speedup()
+    );
+    row
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sim.json".into());
+    let mut check = false;
+    let mut out_path = String::from("BENCH_sim.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    // --check (CI) repeats less; floors are asserted either way.
+    let runs = if check { 2 } else { 5 };
+
+    // ---- engine A/B (single launches) ----
     let mut rows = Vec::new();
 
     // The headline workload: the paper's best matmul configuration
@@ -94,7 +164,7 @@ fn main() {
         tile: 16,
         unroll: true,
     };
-    rows.push(bench("matmul_256_tiled16u", move || {
+    rows.push(bench("matmul_256_tiled16u", runs, move || {
         mm.run(tiled, &a, &b).1
     }));
 
@@ -105,18 +175,140 @@ fn main() {
         alpha: 2.0,
     };
     let (x, y) = sx.generate(42);
-    rows.push(bench("saxpy_262144", move || sx.run(&x, &y).1));
+    rows.push(bench("saxpy_262144", runs, move || sx.run(&x, &y).1));
 
     // Divergent, atomic-heavy kernel: stresses the settle/retire paths.
     let tp = Tpacf { n: 1024 };
     let sky = tp.generate(42);
-    rows.push(bench("tpacf_1024", move || tp.run(&sky).1));
+    rows.push(bench("tpacf_1024", runs, move || tp.run(&sky).1));
 
     set_engine(Engine::Predecoded);
 
+    // ---- executor A/B (launch fleets) ----
+    let mut sweeps = Vec::new();
+
+    // The full Figure 4 tile/unroll sweep at its smallest legal size.
+    // Large grids keep every SM busy, so this measures the batched path
+    // on simulation-bound launches.
+    sweeps.push(bench_sweep("fig4_sweep_48", runs, || {
+        matmul_study::figure4(48)
+            .iter()
+            .map(|r| r.gflops.to_bits())
+            .fold(0u64, u64::wrapping_add)
+    }));
+
+    // A tuner-style fleet: the Figure 4 variant family at n=16 — one or a
+    // few blocks per launch — re-evaluated round after round on prebuilt
+    // kernels and devices (a hill-climber or sweep revisits the same
+    // configurations; building them is not the cost being measured).
+    // Per-launch thread-spawn overhead dominates such fleets; this row is
+    // the pooled engine's headline.
+    let fleet = MatMul { n: 16 };
+    let (fa, fb) = fleet.generate(42);
+    let mut fleet_variants = vec![Variant::Naive, Variant::RegTiled { tile: 16 }];
+    for tile in [4u32, 8, 16] {
+        for unroll in [false, true] {
+            fleet_variants.push(Variant::Tiled { tile, unroll });
+        }
+    }
+    let fleet_preps: Vec<_> = fleet_variants
+        .iter()
+        .map(|&v| {
+            let n = fleet.n;
+            let mut dev = g80_cuda::Device::new(3 * n * n * 4 + 4096);
+            let da = dev.alloc::<f32>((n * n) as usize);
+            let db = dev.alloc::<f32>((n * n) as usize);
+            let dc = dev.alloc::<f32>((n * n) as usize);
+            dev.copy_to_device(&da, &fa);
+            dev.copy_to_device(&db, &fb);
+            let params = [da.as_param(), db.as_param(), dc.as_param()];
+            (fleet.kernel(v), dev, params)
+        })
+        .collect();
+    // Ten evaluation rounds of every variant, submitted as one batch of 80
+    // launches: the batch path predecodes each kernel once for the whole
+    // fleet, while the spawn baseline pays per-launch predecode and a
+    // 16-thread spawn burst for every entry.
+    let fleet_entries: Vec<g80_cuda::BatchLaunch> = std::iter::repeat_n((), 10)
+        .flat_map(|()| {
+            fleet_variants
+                .iter()
+                .zip(&fleet_preps)
+                .map(|(&v, (k, dev, params))| {
+                    let t = v.block_edge();
+                    let (bx, by) = v.block_shape();
+                    g80_cuda::BatchLaunch {
+                        device: dev,
+                        kernel: k,
+                        grid: (fleet.n / t, fleet.n / t),
+                        block: (bx, by, 1),
+                        params,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    sweeps.push(bench_sweep("tuner_fleet_16", runs, || {
+        g80_cuda::launch_batch(&fleet_entries)
+            .into_iter()
+            .map(|r| r.unwrap().cycles)
+            .fold(0u64, u64::wrapping_add)
+    }));
+
+    // Block-size occupancy probes: the tuner's smallest unit of work — a
+    // few hundred launches of a tiny streaming kernel, one to eight blocks
+    // each. Per-launch thread-spawn overhead *is* the cost here, so this
+    // row isolates what the pooled executor removes.
+    let probe_kernel = {
+        use g80_isa::builder::KernelBuilder;
+        use g80_isa::inst::Operand;
+        let mut b = KernelBuilder::new("probe");
+        let p = b.param();
+        let tid = b.tid_x();
+        let ntid = b.ntid_x();
+        let cta = b.ctaid_x();
+        let i = b.imad(cta, ntid, tid);
+        let byte = b.shl(i, 2u32);
+        let a = b.iadd(byte, p);
+        let v = b.ld_global(a, 0);
+        let d = b.fmul(v, Operand::imm_f(2.0));
+        b.st_global(a, 0, d);
+        b.build()
+    };
+    let mut probe_dev = g80_cuda::Device::new(4096);
+    let probe_buf = probe_dev.alloc::<f32>(256);
+    probe_dev.copy_to_device(&probe_buf, &vec![1.0f32; 256]);
+    sweeps.push(bench_sweep("probe_fleet_256", runs, || {
+        let mut fp = 0u64;
+        for _ in 0..50 {
+            for bs in [32u32, 64, 128, 256] {
+                let stats = probe_dev
+                    .launch(
+                        &probe_kernel,
+                        (256 / bs, 1),
+                        (bs, 1, 1),
+                        &[probe_buf.as_param()],
+                    )
+                    .unwrap();
+                fp = fp.wrapping_add(stats.cycles);
+            }
+        }
+        fp
+    }));
+
+    // The 12-application suite at test scale: app-level pool tasks whose
+    // inner launches nest on the same pool.
+    sweeps.push(bench_sweep("suite_small", runs, || {
+        suite::run_suite(suite::Scale::Small)
+            .iter()
+            .map(|r| r.stats.cycles)
+            .fold(0u64, u64::wrapping_add)
+    }));
+
+    // ---- report ----
     let mut json = String::from("{\n  \"benchmark\": \"g80-sim engine wall-clock\",\n");
     json.push_str(&format!(
-        "  \"runs_per_engine\": {RUNS},\n  \"workloads\": [\n"
+        "  \"runs_per_engine\": {runs},\n  \"workloads\": [\n"
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -128,6 +320,17 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n  \"sweeps\": [\n");
+    for (i, r) in sweeps.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"spawn_s\": {:.6}, \"pooled_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.spawn_s,
+            r.pooled_s,
+            r.speedup(),
+            if i + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark report");
     eprintln!("wrote {out_path}");
@@ -137,4 +340,13 @@ fn main() {
         headline >= 2.0,
         "headline matmul speedup {headline:.2}x is below the 2x floor"
     );
+    let sweep_floor = |name: &str, floor: f64| {
+        let s = sweeps.iter().find(|r| r.name == name).unwrap().speedup();
+        assert!(
+            s >= floor,
+            "{name} pooled speedup {s:.2}x is below the {floor}x floor"
+        );
+    };
+    sweep_floor("tuner_fleet_16", 2.0);
+    sweep_floor("probe_fleet_256", 3.0);
 }

@@ -1,7 +1,7 @@
 //! Figure 4 and Section 4 — the matrix-multiplication optimization study.
 
 use g80_apps::matmul::{MatMul, Variant};
-use g80_core::{advise, estimate, kernel_occupancy, sweep, Bottleneck};
+use g80_core::{advise, estimate, kernel_occupancy, Bottleneck, Sample, SweepResult};
 use g80_sim::GpuConfig;
 
 /// One measured configuration of Figure 4.
@@ -46,11 +46,14 @@ pub fn figure4(n: u32) -> Vec<Fig4Row> {
     // tiling ([22]).
     variants.push(Variant::RegTiled { tile: 16 });
     let cfg = GpuConfig::geforce_8800_gtx();
+    // All eleven configurations go down as one batch: one predecode per
+    // kernel, every launch's SM tasks interleaved on the worker pool.
+    let results = mm.run_batch(&variants, &a, &b);
     variants
         .into_iter()
-        .map(|v| {
+        .zip(results)
+        .map(|(v, (_, stats, _))| {
             let k = mm.kernel(v);
-            let (_, stats, _) = mm.run(v, &a, &b);
             let (sx, sy) = v.block_shape();
             let occ = kernel_occupancy(&cfg, &k, sx * sy);
             Fig4Row {
@@ -159,26 +162,39 @@ pub fn register_cliff(n: u32) -> (Sec4Step, Sec4Step) {
     let mm = MatMul { n };
     let (a, b) = mm.generate(42);
     let cfg = GpuConfig::geforce_8800_gtx();
-    let run_forced = |regs: u32| {
-        let v = Variant::Tiled {
-            tile: 16,
-            unroll: false,
-        };
-        let k = mm.kernel(v).with_forced_regs(regs);
-        let mut dev = g80_cuda::Device::new(3 * n * n * 4 + 4096);
-        let da = dev.alloc::<f32>((n * n) as usize);
-        let db = dev.alloc::<f32>((n * n) as usize);
-        let dc = dev.alloc::<f32>((n * n) as usize);
-        dev.copy_to_device(&da, &a);
-        dev.copy_to_device(&db, &b);
-        let stats = dev
-            .launch(
-                &k,
-                (n / 16, n / 16),
-                (16, 16, 1),
-                &[da.as_param(), db.as_param(), dc.as_param()],
-            )
-            .unwrap();
+    let v = Variant::Tiled {
+        tile: 16,
+        unroll: false,
+    };
+    // Both forced-register points go down as one two-entry batch.
+    let caps = [10u32, 11];
+    let preps: Vec<_> = caps
+        .iter()
+        .map(|&regs| {
+            let k = mm.kernel(v).with_forced_regs(regs);
+            let mut dev = g80_cuda::Device::new(3 * n * n * 4 + 4096);
+            let da = dev.alloc::<f32>((n * n) as usize);
+            let db = dev.alloc::<f32>((n * n) as usize);
+            let dc = dev.alloc::<f32>((n * n) as usize);
+            dev.copy_to_device(&da, &a);
+            dev.copy_to_device(&db, &b);
+            let params = [da.as_param(), db.as_param(), dc.as_param()];
+            (k, dev, params)
+        })
+        .collect();
+    let entries: Vec<g80_cuda::BatchLaunch> = preps
+        .iter()
+        .map(|(k, dev, params)| g80_cuda::BatchLaunch {
+            device: dev,
+            kernel: k,
+            grid: (n / 16, n / 16),
+            block: (16, 16, 1),
+            params,
+        })
+        .collect();
+    let results = g80_cuda::launch_batch(&entries);
+    let mut steps = caps.iter().zip(results).map(|(&regs, r)| {
+        let stats = r.unwrap();
         let est = estimate(&cfg, &stats);
         Sec4Step {
             name: format!("16x16 tiled (rolled) forced to {regs} regs"),
@@ -192,8 +208,10 @@ pub fn register_cliff(n: u32) -> (Sec4Step, Sec4Step) {
             required_bw: est.required_bandwidth_gbps,
             top_hint: None,
         }
-    };
-    (run_forced(10), run_forced(11))
+    });
+    let r10 = steps.next().unwrap();
+    let r11 = steps.next().unwrap();
+    (r10, r11)
 }
 
 pub fn render_section4(steps: &[Sec4Step], cliff: &(Sec4Step, Sec4Step)) -> String {
@@ -250,10 +268,15 @@ pub fn tuner_search(n: u32) -> (String, f64) {
     }
     configs.push(Variant::Prefetch { tile: 16 });
     configs.push(Variant::RegTiled { tile: 16 });
-    let result = sweep(&configs, |v| {
-        let (_, stats, _) = mm.run(*v, &a, &b);
-        stats
-    });
+    // Exhaustive sweep as one batched launch instead of serial runs.
+    let evals = mm.run_batch(&configs, &a, &b);
+    let result = SweepResult::from_samples(
+        configs
+            .iter()
+            .zip(evals)
+            .map(|(&config, (_, stats, _))| Sample { config, stats })
+            .collect(),
+    );
     let best = result.best_sample();
     (best.config.label(), best.stats.gflops())
 }

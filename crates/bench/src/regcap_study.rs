@@ -7,11 +7,10 @@
 //! paper describes: more registers per thread ⇒ fewer resident blocks ⇒
 //! less latency hiding; fewer registers ⇒ spill traffic to DRAM.
 
-use g80_cuda::Device;
+use g80_cuda::{BatchLaunch, Device};
 use g80_isa::builder::{BuildOptions, KernelBuilder, Unroll};
 use g80_isa::inst::Operand;
 use g80_isa::{InstClass, OptLevel};
-use g80_sim::KernelStats;
 
 /// One point of the register-cap sweep.
 #[derive(Clone, Debug)]
@@ -57,25 +56,8 @@ fn hungry_kernel(cap: Option<u32>) -> g80_isa::Kernel {
     })
 }
 
-fn run_cap(cap: Option<u32>) -> (g80_isa::Kernel, KernelStats) {
-    let k = hungry_kernel(cap);
-    let n = 1u32 << 16;
-    let mut dev = Device::new(2 * n * 4 + 4096);
-    let din = dev.alloc::<f32>(n as usize);
-    let dout = dev.alloc::<f32>(n as usize);
-    dev.copy_to_device(&din, &vec![1.0f32; n as usize]);
-    let stats = dev
-        .launch(
-            &k,
-            (n / 256, 1),
-            (256, 1, 1),
-            &[din.as_param(), dout.as_param()],
-        )
-        .expect("regcap launch");
-    (k, stats)
-}
-
-/// Sweeps the register cap from "uncapped" down.
+/// Sweeps the register cap from "uncapped" down — every cap's launch goes
+/// down as one batch on the shared worker pool.
 pub fn run() -> Vec<RegCapPoint> {
     let natural = hungry_kernel(None).regs_per_thread;
     let mut caps: Vec<Option<u32>> = vec![None];
@@ -84,9 +66,35 @@ pub fn run() -> Vec<RegCapPoint> {
             caps.push(Some(c));
         }
     }
-    caps.into_iter()
-        .map(|cap| {
-            let (k, stats) = run_cap(cap);
+    let n = 1u32 << 16;
+    let preps: Vec<_> = caps
+        .iter()
+        .map(|&cap| {
+            let k = hungry_kernel(cap);
+            let mut dev = Device::new(2 * n * 4 + 4096);
+            let din = dev.alloc::<f32>(n as usize);
+            let dout = dev.alloc::<f32>(n as usize);
+            dev.copy_to_device(&din, &vec![1.0f32; n as usize]);
+            let params = [din.as_param(), dout.as_param()];
+            (k, dev, params)
+        })
+        .collect();
+    let entries: Vec<BatchLaunch> = preps
+        .iter()
+        .map(|(k, dev, params)| BatchLaunch {
+            device: dev,
+            kernel: k,
+            grid: (n / 256, 1),
+            block: (256, 1, 1),
+            params,
+        })
+        .collect();
+    let results = g80_cuda::launch_batch(&entries);
+    caps.iter()
+        .zip(&preps)
+        .zip(results)
+        .map(|((&cap, (k, _, _)), r)| {
+            let stats = r.expect("regcap launch");
             let mix = k.static_mix();
             RegCapPoint {
                 cap,

@@ -20,113 +20,117 @@ pub enum Scale {
 }
 
 /// Runs every application and returns its report, in the paper's Table 2
-/// ordering.
+/// ordering. Each application's whole setup→launch→validate pipeline is
+/// one task on the shared simulation pool; the inner kernel launches fan
+/// out on the same pool (scope owners execute tasks while they wait, so
+/// the nesting cannot deadlock) and results come back in submission order.
 pub fn run_suite(scale: Scale) -> Vec<AppReport> {
     let full = scale == Scale::Full;
-    let mut reports = Vec::new();
-
-    // H.264 motion estimation.
-    reports.push(
-        if full {
-            sad::SadApp::default()
-        } else {
-            sad::SadApp {
-                width: 64,
-                height: 48,
+    type Job = Box<dyn FnOnce() -> AppReport + Send>;
+    let jobs: Vec<Job> = vec![
+        // H.264 motion estimation.
+        Box::new(move || {
+            if full {
+                sad::SadApp::default()
+            } else {
+                sad::SadApp {
+                    width: 64,
+                    height: 48,
+                }
             }
-        }
-        .report(),
-    );
-    // LBM.
-    reports.push(
-        if full {
-            lbm::Lbm { n: 128, steps: 8 }
-        } else {
-            lbm::Lbm { n: 64, steps: 2 }
-        }
-        .report(),
-    );
-    // RC5-72.
-    reports.push(
-        rc5::Rc5 {
-            n_keys: if full { 1 << 16 } else { 1 << 12 },
-            ..Default::default()
-        }
-        .report(),
-    );
-    // FEM.
-    reports.push(
-        fem::Fem {
-            n_nodes: if full { 1 << 15 } else { 1 << 13 },
-            sweeps: if full { 8 } else { 2 },
-        }
-        .report(),
-    );
-    // RPES.
-    reports.push(
-        rpes::Rpes {
-            n: if full { 1 << 15 } else { 1 << 13 },
-        }
-        .report(),
-    );
-    // PNS.
-    reports.push(
-        pns::Pns {
-            n_threads: if full { 1 << 14 } else { 1 << 12 },
-            steps: if full { 256 } else { 64 },
-            snap_every: 32,
-        }
-        .report(),
-    );
-    // SAXPY.
-    reports.push(
-        saxpy::Saxpy {
-            n: if full { 1 << 20 } else { 1 << 17 },
-            alpha: 2.5,
-        }
-        .report(),
-    );
-    // TPACF.
-    reports.push(
-        tpacf::Tpacf {
-            n: if full { 2048 } else { 512 },
-        }
-        .report(),
-    );
-    // FDTD.
-    reports.push(
-        fdtd::Fdtd {
-            n: if full { 256 } else { 128 },
-            steps: if full { 8 } else { 2 },
-        }
-        .report(),
-    );
-    // MRI-Q.
-    reports.push(
-        mriq::MriQ {
-            n_voxels: if full { 1 << 15 } else { 1 << 12 },
-            n_k: if full { 1024 } else { 256 },
-        }
-        .report(),
-    );
-    // MRI-FHD.
-    reports.push(
-        mrifhd::MriFhd {
-            n_voxels: if full { 1 << 15 } else { 1 << 12 },
-            n_k: if full { 1024 } else { 256 },
-        }
-        .report(),
-    );
-    // CP.
-    reports.push(
-        cp::CoulombicPotential {
-            grid: if full { 256 } else { 64 },
-            n_atoms: if full { 128 } else { 64 },
-            spacing: 0.5,
-        }
-        .report(),
-    );
-    reports
+            .report()
+        }),
+        // LBM.
+        Box::new(move || {
+            if full {
+                lbm::Lbm { n: 128, steps: 8 }
+            } else {
+                lbm::Lbm { n: 64, steps: 2 }
+            }
+            .report()
+        }),
+        // RC5-72.
+        Box::new(move || {
+            rc5::Rc5 {
+                n_keys: if full { 1 << 16 } else { 1 << 12 },
+                ..Default::default()
+            }
+            .report()
+        }),
+        // FEM.
+        Box::new(move || {
+            fem::Fem {
+                n_nodes: if full { 1 << 15 } else { 1 << 13 },
+                sweeps: if full { 8 } else { 2 },
+            }
+            .report()
+        }),
+        // RPES.
+        Box::new(move || {
+            rpes::Rpes {
+                n: if full { 1 << 15 } else { 1 << 13 },
+            }
+            .report()
+        }),
+        // PNS.
+        Box::new(move || {
+            pns::Pns {
+                n_threads: if full { 1 << 14 } else { 1 << 12 },
+                steps: if full { 256 } else { 64 },
+                snap_every: 32,
+            }
+            .report()
+        }),
+        // SAXPY.
+        Box::new(move || {
+            saxpy::Saxpy {
+                n: if full { 1 << 20 } else { 1 << 17 },
+                alpha: 2.5,
+            }
+            .report()
+        }),
+        // TPACF.
+        Box::new(move || {
+            tpacf::Tpacf {
+                n: if full { 2048 } else { 512 },
+            }
+            .report()
+        }),
+        // FDTD.
+        Box::new(move || {
+            fdtd::Fdtd {
+                n: if full { 256 } else { 128 },
+                steps: if full { 8 } else { 2 },
+            }
+            .report()
+        }),
+        // MRI-Q.
+        Box::new(move || {
+            mriq::MriQ {
+                n_voxels: if full { 1 << 15 } else { 1 << 12 },
+                n_k: if full { 1024 } else { 256 },
+            }
+            .report()
+        }),
+        // MRI-FHD.
+        Box::new(move || {
+            mrifhd::MriFhd {
+                n_voxels: if full { 1 << 15 } else { 1 << 12 },
+                n_k: if full { 1024 } else { 256 },
+            }
+            .report()
+        }),
+        // CP.
+        Box::new(move || {
+            cp::CoulombicPotential {
+                grid: if full { 256 } else { 64 },
+                n_atoms: if full { 128 } else { 64 },
+                spacing: 0.5,
+            }
+            .report()
+        }),
+    ];
+    g80_sim::pool::run_tasks(jobs)
 }
 
 /// The matrix-multiplication row the paper lists "for comparison".

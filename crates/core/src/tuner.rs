@@ -34,6 +34,13 @@ pub struct SweepResult<C> {
 }
 
 impl<C> SweepResult<C> {
+    /// Builds a result from already-evaluated samples (e.g. a
+    /// `launch_batch` sweep), computing the best index.
+    pub fn from_samples(samples: Vec<Sample<C>>) -> Self {
+        assert!(!samples.is_empty(), "empty configuration space");
+        finish(samples)
+    }
+
     pub fn best_sample(&self) -> &Sample<C> {
         &self.samples[self.best]
     }
@@ -59,50 +66,28 @@ pub fn sweep<C: Clone>(configs: &[C], mut eval: impl FnMut(&C) -> KernelStats) -
     finish(samples)
 }
 
-/// Evaluates every configuration in parallel across host threads. `eval`
-/// must be pure with respect to shared state (each call typically builds a
-/// fresh device).
+/// Evaluates every configuration in parallel on the shared simulation
+/// worker pool ([`g80_sim::pool`]). `eval` must be pure with respect to
+/// shared state (each call typically builds a fresh device). Results are
+/// returned in input order, so the sweep is deterministic for any worker
+/// count.
 pub fn sweep_parallel<C: Clone + Send + Sync>(
     configs: &[C],
     eval: impl Fn(&C) -> KernelStats + Send + Sync,
 ) -> SweepResult<C> {
     assert!(!configs.is_empty(), "empty configuration space");
-    let mut samples: Vec<Option<Sample<C>>> = (0..configs.len()).map(|_| None).collect();
-    let nthreads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(configs.len());
-    let next = std::sync::atomic::AtomicUsize::new(0);
     let eval = &eval;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..nthreads {
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut mine: Vec<(usize, Sample<C>)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= configs.len() {
-                        break;
-                    }
-                    mine.push((
-                        i,
-                        Sample {
-                            config: configs[i].clone(),
-                            stats: eval(&configs[i]),
-                        },
-                    ));
-                }
-                mine
-            }));
-        }
-        for h in handles {
-            for (i, s) in h.join().expect("tuner worker panicked") {
-                samples[i] = Some(s);
-            }
-        }
-    });
-    finish(samples.into_iter().map(|s| s.unwrap()).collect())
+    let stats = g80_sim::pool::run_tasks(configs.iter().map(|c| move || eval(c)).collect());
+    finish(
+        configs
+            .iter()
+            .zip(stats)
+            .map(|(c, stats)| Sample {
+                config: c.clone(),
+                stats,
+            })
+            .collect(),
+    )
 }
 
 fn finish<C>(samples: Vec<Sample<C>>) -> SweepResult<C> {

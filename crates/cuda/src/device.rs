@@ -219,11 +219,17 @@ impl Device {
             params,
             &self.mem,
         )?;
+        self.record_kernel(&stats);
+        Ok(stats)
+    }
+
+    /// Accounts one completed kernel on the timeline (shared by [`launch`]
+    /// and [`launch_batch`]).
+    fn record_kernel(&self, stats: &KernelStats) {
         let mut t = self.timeline.borrow_mut();
         t.kernel_s += stats.elapsed;
         t.kernel_cycles += stats.cycles;
         t.launches += 1;
-        Ok(stats)
     }
 
     /// The accumulated execution timeline.
@@ -235,6 +241,54 @@ impl Device {
     pub fn reset_timeline(&self) {
         *self.timeline.borrow_mut() = Timeline::default();
     }
+}
+
+/// One entry of a [`launch_batch`]: a kernel launch bound to the device it
+/// runs on. Entries may target different devices (a sweep typically builds
+/// one device per configuration) as long as all devices share one
+/// [`GpuConfig`].
+#[derive(Clone, Copy)]
+pub struct BatchLaunch<'a> {
+    pub device: &'a Device,
+    pub kernel: &'a Kernel,
+    pub grid: (u32, u32),
+    pub block: (u32, u32, u32),
+    pub params: &'a [Value],
+}
+
+/// Launches every entry through the simulator's batched path
+/// ([`g80_sim::launch_batch`]): one predecode per distinct kernel, all SM
+/// tasks of all launches interleaved on the shared worker pool. Results come
+/// back in entry order and each entry's timeline is charged exactly as a
+/// serial [`Device::launch`] loop would.
+pub fn launch_batch(entries: &[BatchLaunch]) -> Vec<Result<KernelStats, g80_sim::LaunchError>> {
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let cfg = entries[0].device.config();
+    assert!(
+        entries.iter().all(|e| e.device.config() == cfg),
+        "launch_batch entries must share one GpuConfig"
+    );
+    let specs: Vec<g80_sim::LaunchSpec> = entries
+        .iter()
+        .map(|e| g80_sim::LaunchSpec {
+            kernel: e.kernel,
+            dims: LaunchDims {
+                grid: e.grid,
+                block: e.block,
+            },
+            params: e.params,
+            mem: e.device.memory(),
+        })
+        .collect();
+    let results = g80_sim::launch_batch(cfg, &specs);
+    for (e, r) in entries.iter().zip(&results) {
+        if let Ok(stats) = r {
+            e.device.record_kernel(stats);
+        }
+    }
+    results
 }
 
 #[cfg(test)]
@@ -309,6 +363,62 @@ mod tests {
 
         d.reset_timeline();
         assert_eq!(d.timeline().launches, 0);
+    }
+
+    #[test]
+    fn batch_launch_matches_serial_and_charges_each_timeline() {
+        let mut b = KernelBuilder::new("scale");
+        let p = b.param();
+        let tid = b.tid_x();
+        let ntid = b.ntid_x();
+        let cta = b.ctaid_x();
+        let i = b.imad(cta, ntid, tid);
+        let byte = b.shl(i, 2u32);
+        let a = b.iadd(byte, p);
+        let v = b.ld_global(a, 0);
+        let w = b.fmul(v, 3.0f32);
+        b.st_global(a, 0, w);
+        let k = b.build();
+
+        let mut devices = Vec::new();
+        let mut bufs = Vec::new();
+        for _ in 0..3 {
+            let mut d = Device::new(1 << 16);
+            let buf = d.alloc::<f32>(512);
+            d.copy_to_device(&buf, &vec![1.0f32; 512]);
+            devices.push(d);
+            bufs.push(buf);
+        }
+        let params: Vec<[Value; 1]> = bufs.iter().map(|b| [b.as_param()]).collect();
+        let entries: Vec<BatchLaunch> = devices
+            .iter()
+            .zip(&params)
+            .map(|(device, params)| BatchLaunch {
+                device,
+                kernel: &k,
+                grid: (2, 1),
+                block: (256, 1, 1),
+                params,
+            })
+            .collect();
+        let batched = launch_batch(&entries);
+
+        let mut serial_dev = Device::new(1 << 16);
+        let sbuf = serial_dev.alloc::<f32>(512);
+        serial_dev.copy_to_device(&sbuf, &vec![1.0f32; 512]);
+        let serial = serial_dev
+            .launch(&k, (2, 1), (256, 1, 1), &[sbuf.as_param()])
+            .unwrap();
+
+        for (d, (buf, r)) in devices.iter().zip(bufs.iter().zip(&batched)) {
+            let stats = r.as_ref().unwrap();
+            assert_eq!(stats.cycles, serial.cycles);
+            assert!(d.copy_from_device(buf).iter().all(|&x| x == 3.0));
+            let t = d.timeline();
+            assert_eq!(t.launches, 1);
+            assert_eq!(t.kernel_cycles, serial.cycles);
+        }
+        assert!(launch_batch(&[]).is_empty());
     }
 
     #[test]

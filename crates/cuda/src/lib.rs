@@ -42,5 +42,5 @@ pub mod device;
 pub mod transfer;
 
 pub use cpu::{CpuModel, CpuTuning, CpuWork};
-pub use device::{Device, DeviceBuffer, Timeline, Word32};
+pub use device::{launch_batch, BatchLaunch, Device, DeviceBuffer, Timeline, Word32};
 pub use transfer::PcieModel;

@@ -6,7 +6,7 @@
 //! sensitivity studies) are a struct literal away.
 
 /// Configuration of the simulated GPU.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors (SMs).
     pub num_sms: u32,

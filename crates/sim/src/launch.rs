@@ -1,15 +1,27 @@
 //! Kernel launch: occupancy-checked block scheduling across the 16 SMs,
-//! simulated in parallel with scoped threads.
+//! simulated in parallel on the process-wide worker pool.
 //!
 //! Blocks are distributed round-robin over SMs at launch, and each SM refills
 //! its own slots as resident blocks retire. Because DRAM bandwidth is
 //! partitioned evenly per SM (see `GpuConfig::dram_bytes_per_cycle_per_sm`),
 //! SM simulations are mutually independent and the result is deterministic
 //! regardless of host thread scheduling.
+//!
+//! Two host-side execution strategies exist (see [`Executor`]): the default
+//! routes each non-empty SM's simulation through [`crate::pool`], so fleets
+//! of launches share one set of worker threads; the frozen
+//! [`Executor::SpawnPerLaunch`] baseline reproduces the original
+//! 16-threads-per-launch `std::thread::scope` burst for A/B benchmarks and
+//! equivalence tests. Both produce bit-identical [`KernelStats`].
+//!
+//! [`launch_batch`] amortizes further across *independent* launches: one
+//! predecode per distinct kernel and a single pool scope for every SM task
+//! of every launch in the batch.
 
 use crate::config::GpuConfig;
 use crate::counters::{KernelStats, SmStats};
 use crate::memory::DeviceMemory;
+use crate::pool;
 use crate::reference::run_sm_reference;
 use crate::sm::{run_sm, LaunchDims};
 use g80_isa::{DecodedKernel, Kernel, Value};
@@ -44,6 +56,38 @@ pub fn engine() -> Engine {
     }
 }
 
+/// How the host executes the per-SM simulation tasks of a launch. Both
+/// strategies produce bit-identical [`KernelStats`]; they differ only in
+/// host-side wall-clock.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Executor {
+    /// The process-wide work-stealing pool in [`crate::pool`] (default):
+    /// no threads are spawned per launch, SMs with an empty block list are
+    /// skipped, and concurrent launches share the workers.
+    Pooled,
+    /// The original strategy, kept as the "before" side of sweep-throughput
+    /// benchmarks: every launch spawns `num_sms` scoped threads, one per SM,
+    /// including SMs with no blocks to run.
+    SpawnPerLaunch,
+}
+
+static EXECUTOR: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the executor used by subsequent [`launch`]/[`launch_batch`]
+/// calls (process-wide). Intended for A/B equivalence tests and benchmarks;
+/// production callers should leave the default.
+pub fn set_executor(e: Executor) {
+    EXECUTOR.store(e as u8, Ordering::SeqCst);
+}
+
+/// The executor currently selected for [`launch`].
+pub fn executor() -> Executor {
+    match EXECUTOR.load(Ordering::SeqCst) {
+        1 => Executor::SpawnPerLaunch,
+        _ => Executor::Pooled,
+    }
+}
+
 /// Errors rejected at launch time (the CUDA runtime would fail the same way).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LaunchError {
@@ -71,22 +115,27 @@ impl std::fmt::Display for LaunchError {
 
 impl std::error::Error for LaunchError {}
 
-/// Launches a kernel on the simulated GPU and runs it to completion.
-///
-/// Returns the performance counters; output data lands in `mem`.
-pub fn launch(
-    cfg: &GpuConfig,
-    kernel: &Kernel,
-    dims: LaunchDims,
-    params: &[Value],
-    mem: &DeviceMemory,
-) -> Result<KernelStats, LaunchError> {
+/// One launch of a batch: everything [`launch`] takes except the shared
+/// machine configuration. Entries are independent; if several specs share a
+/// [`DeviceMemory`] they must follow the same consistency rules concurrent
+/// blocks already do (disjoint or idempotent writes, commutative atomics).
+#[derive(Copy, Clone)]
+pub struct LaunchSpec<'a> {
+    pub kernel: &'a Kernel,
+    pub dims: LaunchDims,
+    pub params: &'a [Value],
+    pub mem: &'a DeviceMemory,
+}
+
+/// Occupancy-checks a launch request; returns blocks/SM on success.
+fn validate(cfg: &GpuConfig, spec: &LaunchSpec) -> Result<u32, LaunchError> {
     // The timing engine's warp machinery (masks, register file striding) is
     // fixed at 32 lanes; configs are free to vary everything else.
     assert_eq!(
         cfg.warp_size, 32,
         "the simulation engine only supports 32-lane warps"
     );
+    let (kernel, dims) = (spec.kernel, spec.dims);
     let tpb = dims.threads_per_block();
     if tpb == 0 || tpb > cfg.max_threads_per_block {
         return Err(LaunchError::BadBlockDims(format!(
@@ -100,12 +149,12 @@ pub fn launch(
             kernel.name, dims.grid
         )));
     }
-    if params.len() != kernel.num_params as usize {
+    if spec.params.len() != kernel.num_params as usize {
         return Err(LaunchError::BadParams(format!(
             "kernel {} expects {} params, got {}",
             kernel.name,
             kernel.num_params,
-            params.len()
+            spec.params.len()
         )));
     }
     let blocks_per_sm = cfg.blocks_per_sm(kernel.regs_per_thread, kernel.smem_bytes, tpb);
@@ -115,8 +164,11 @@ pub fn launch(
             kernel.name, tpb, kernel.regs_per_thread, kernel.smem_bytes
         )));
     }
+    Ok(blocks_per_sm)
+}
 
-    // Round-robin static assignment of blocks to SMs.
+/// Round-robin static assignment of blocks to SMs.
+fn assign_blocks(cfg: &GpuConfig, dims: LaunchDims) -> Vec<Vec<(u32, u32)>> {
     let mut per_sm_blocks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); cfg.num_sms as usize];
     let mut i = 0usize;
     for cy in 0..dims.grid.1 {
@@ -125,44 +177,229 @@ pub fn launch(
             i += 1;
         }
     }
+    per_sm_blocks
+}
 
-    // Predecode once per launch; every SM thread shares the table.
-    let eng = engine();
-    let decoded = match eng {
+/// A validated launch, ready to have its SM tasks executed.
+struct Prepared<'a> {
+    spec: LaunchSpec<'a>,
+    blocks_per_sm: u32,
+    per_sm_blocks: Vec<Vec<(u32, u32)>>,
+}
+
+impl<'a> Prepared<'a> {
+    /// Simulates one SM of this launch.
+    fn run_sm(
+        &self,
+        decoded: Option<&DecodedKernel>,
+        blocks: &[(u32, u32)],
+        cfg: &GpuConfig,
+    ) -> SmStats {
+        let s = &self.spec;
+        match decoded {
+            Some(d) => run_sm(
+                cfg,
+                s.kernel,
+                d,
+                &s.dims,
+                s.params,
+                s.mem,
+                blocks,
+                self.blocks_per_sm,
+            ),
+            None => run_sm_reference(
+                cfg,
+                s.kernel,
+                &s.dims,
+                s.params,
+                s.mem,
+                blocks,
+                self.blocks_per_sm,
+            ),
+        }
+    }
+
+    fn merge(&self, cfg: &GpuConfig, results: Vec<SmStats>) -> KernelStats {
+        KernelStats::merge(
+            &self.spec.kernel.name,
+            cfg,
+            results,
+            self.spec.kernel.regs_per_thread,
+            self.spec.kernel.smem_bytes,
+            self.spec.dims.threads_per_block(),
+            self.blocks_per_sm,
+            self.spec.dims.total_blocks(),
+        )
+    }
+}
+
+/// Launches a kernel on the simulated GPU and runs it to completion.
+///
+/// Returns the performance counters; output data lands in `mem`.
+pub fn launch(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    dims: LaunchDims,
+    params: &[Value],
+    mem: &DeviceMemory,
+) -> Result<KernelStats, LaunchError> {
+    let spec = LaunchSpec {
+        kernel,
+        dims,
+        params,
+        mem,
+    };
+    let blocks_per_sm = validate(cfg, &spec)?;
+    let prepared = Prepared {
+        spec,
+        blocks_per_sm,
+        per_sm_blocks: assign_blocks(cfg, dims),
+    };
+
+    // Predecode once per launch; every SM task shares the table.
+    let decoded = match engine() {
         Engine::Predecoded => Some(DecodedKernel::new(kernel)),
         Engine::Reference => None,
     };
     let decoded = decoded.as_ref();
 
-    // Simulate SMs in parallel; they share only the atomic global memory.
+    let results = match executor() {
+        Executor::Pooled => run_sms_pooled(cfg, &prepared, decoded),
+        Executor::SpawnPerLaunch => run_sms_spawn(cfg, &prepared, decoded),
+    };
+    Ok(prepared.merge(cfg, results))
+}
+
+/// Default path: one pool task per SM *with work to do*. An empty SM's
+/// simulation is the empty `SmStats` (it never enters the scheduler loop),
+/// so skipping it is bit-identical and a small grid costs a handful of
+/// queue operations instead of `num_sms` thread spawns.
+fn run_sms_pooled(
+    cfg: &GpuConfig,
+    prepared: &Prepared,
+    decoded: Option<&DecodedKernel>,
+) -> Vec<SmStats> {
+    let busy: Vec<(usize, &Vec<(u32, u32)>)> = prepared
+        .per_sm_blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, blocks)| !blocks.is_empty())
+        .collect();
+    let partial = pool::run_tasks(
+        busy.iter()
+            .map(|&(_, blocks)| move || prepared.run_sm(decoded, blocks, cfg))
+            .collect(),
+    );
+    let mut results: Vec<SmStats> = vec![SmStats::default(); cfg.num_sms as usize];
+    for ((sm, _), stats) in busy.into_iter().zip(partial) {
+        results[sm] = stats;
+    }
+    results
+}
+
+/// Frozen baseline: the original per-launch `std::thread::scope` burst,
+/// one OS thread per SM, empty or not. Kept as the "before" side of the
+/// sweep-throughput benchmarks and as extra test surface.
+fn run_sms_spawn(
+    cfg: &GpuConfig,
+    prepared: &Prepared,
+    decoded: Option<&DecodedKernel>,
+) -> Vec<SmStats> {
     let mut results: Vec<SmStats> = Vec::with_capacity(cfg.num_sms as usize);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = per_sm_blocks
+        let handles: Vec<_> = prepared
+            .per_sm_blocks
             .iter()
-            .map(|blocks| {
-                scope.spawn(move || match decoded {
-                    Some(d) => run_sm(cfg, kernel, d, &dims, params, mem, blocks, blocks_per_sm),
-                    None => {
-                        run_sm_reference(cfg, kernel, &dims, params, mem, blocks, blocks_per_sm)
-                    }
-                })
-            })
+            .map(|blocks| scope.spawn(move || prepared.run_sm(decoded, blocks, cfg)))
             .collect();
         for h in handles {
             results.push(h.join().expect("SM simulation thread panicked"));
         }
     });
+    results
+}
 
-    Ok(KernelStats::merge(
-        &kernel.name,
-        cfg,
-        results,
-        kernel.regs_per_thread,
-        kernel.smem_bytes,
-        tpb,
-        blocks_per_sm,
-        dims.total_blocks(),
-    ))
+/// Launches a fleet of independent kernels and runs them all to completion,
+/// returning one result per spec **in input order**.
+///
+/// Compared with calling [`launch`] in a loop, a batch predecodes each
+/// distinct kernel once (specs are keyed by the `&Kernel` reference they
+/// share) and submits every SM task of every launch into a single pool
+/// scope, so the whole fleet drains through one set of workers with work
+/// stealing across launches. Simulated statistics are bit-identical to the
+/// sequential loop for any worker count.
+pub fn launch_batch(
+    cfg: &GpuConfig,
+    specs: &[LaunchSpec],
+) -> Vec<Result<KernelStats, LaunchError>> {
+    // The frozen baseline executes the batch as the studies used to: one
+    // launch at a time, each paying its own spawn burst.
+    if executor() == Executor::SpawnPerLaunch {
+        return specs
+            .iter()
+            .map(|s| launch(cfg, s.kernel, s.dims, s.params, s.mem))
+            .collect();
+    }
+
+    let prepared: Vec<Result<Prepared, LaunchError>> = specs
+        .iter()
+        .map(|&spec| {
+            let blocks_per_sm = validate(cfg, &spec)?;
+            Ok(Prepared {
+                spec,
+                blocks_per_sm,
+                per_sm_blocks: assign_blocks(cfg, spec.dims),
+            })
+        })
+        .collect();
+
+    // Predecode each distinct kernel once for the whole batch.
+    let decoded: std::collections::HashMap<*const Kernel, DecodedKernel> = match engine() {
+        Engine::Reference => std::collections::HashMap::new(),
+        Engine::Predecoded => prepared
+            .iter()
+            .filter_map(|p| p.as_ref().ok())
+            .map(|p| p.spec.kernel as *const Kernel)
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            // SAFETY of the deref: the pointer came from a live &Kernel in
+            // `specs`, which outlives this function.
+            .map(|k| (k, DecodedKernel::new(unsafe { &*k })))
+            .collect(),
+    };
+
+    // One flat task list across all launches in the batch.
+    let mut tasks: Vec<Box<dyn FnOnce() -> SmStats + Send + '_>> = Vec::new();
+    let mut owners: Vec<(usize, usize)> = Vec::new(); // (spec index, sm index)
+    for (si, p) in prepared.iter().enumerate() {
+        let Ok(p) = p else { continue };
+        let d = decoded.get(&(p.spec.kernel as *const Kernel));
+        for (sm, blocks) in p.per_sm_blocks.iter().enumerate() {
+            if blocks.is_empty() {
+                continue;
+            }
+            owners.push((si, sm));
+            tasks.push(Box::new(move || p.run_sm(d, blocks, cfg)));
+        }
+    }
+    let flat = pool::run_tasks(tasks);
+
+    // Scatter SM results back to their launches and merge per launch.
+    let mut per_spec: Vec<Vec<SmStats>> = prepared
+        .iter()
+        .map(|p| match p {
+            Ok(_) => vec![SmStats::default(); cfg.num_sms as usize],
+            Err(_) => Vec::new(),
+        })
+        .collect();
+    for ((si, sm), stats) in owners.into_iter().zip(flat) {
+        per_spec[si][sm] = stats;
+    }
+    prepared
+        .into_iter()
+        .zip(per_spec)
+        .map(|(p, results)| p.map(|p| p.merge(cfg, results)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -298,6 +535,119 @@ mod tests {
             &[Value::from_u32(0)],
             &mem,
         );
+    }
+
+    /// Satellite check: a grid smaller than the SM count produces the same
+    /// stats and outputs on the pooled path (which submits tasks only for
+    /// busy SMs) as on the spawn-per-launch baseline (which spins up a
+    /// thread for all 16).
+    #[test]
+    fn small_grid_matches_spawn_baseline_bit_for_bit() {
+        let (cfg, k, _) = setup();
+        assert!(2 < cfg.num_sms);
+        let run = |exec: Executor| {
+            set_executor(exec);
+            let mem = DeviceMemory::new(1 << 16);
+            let stats = launch(
+                &cfg,
+                &k,
+                dims((2, 1), (32, 1, 1)),
+                &[Value::from_u32(0)],
+                &mem,
+            )
+            .expect("small grid launch");
+            set_executor(Executor::Pooled);
+            let words: Vec<u32> = (0..64).map(|i| mem.read(i * 4).as_u32()).collect();
+            (stats, words)
+        };
+        let (pooled, pooled_mem) = run(Executor::Pooled);
+        let (spawned, spawned_mem) = run(Executor::SpawnPerLaunch);
+        assert_eq!(pooled_mem, spawned_mem);
+        // Both blocks store tid (block-local) to the same 32 words.
+        assert_eq!(
+            pooled_mem,
+            (0..32)
+                .chain(std::iter::repeat_n(0, 32))
+                .collect::<Vec<u32>>()
+        );
+        assert_eq!(pooled.cycles, spawned.cycles);
+        assert_eq!(pooled.warp_instructions, spawned.warp_instructions);
+        assert_eq!(pooled.stall_cycles, spawned.stall_cycles);
+        assert_eq!(pooled.blocks_executed, spawned.blocks_executed);
+    }
+
+    #[test]
+    fn batch_matches_sequential_launches_and_keeps_error_order() {
+        let (cfg, k, _) = setup();
+        let mems: Vec<DeviceMemory> = (0..3).map(|_| DeviceMemory::new(1 << 16)).collect();
+        let params = [Value::from_u32(0)];
+        let specs = vec![
+            LaunchSpec {
+                kernel: &k,
+                dims: dims((2, 1), (32, 1, 1)),
+                params: &params,
+                mem: &mems[0],
+            },
+            // Invalid: zero grid. Must come back as Err in position 1.
+            LaunchSpec {
+                kernel: &k,
+                dims: dims((0, 1), (32, 1, 1)),
+                params: &params,
+                mem: &mems[1],
+            },
+            LaunchSpec {
+                kernel: &k,
+                dims: dims((40, 1), (64, 1, 1)),
+                params: &params,
+                mem: &mems[2],
+            },
+        ];
+        let batch = launch_batch(&cfg, &specs);
+        assert_eq!(batch.len(), 3);
+        assert!(matches!(batch[1], Err(LaunchError::BadGridDims(_))));
+        for (i, spec) in specs.iter().enumerate() {
+            let serial_mem = DeviceMemory::new(1 << 16);
+            let serial = launch(&cfg, spec.kernel, spec.dims, spec.params, &serial_mem);
+            match (&batch[i], serial) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b.cycles, s.cycles, "spec {i}");
+                    assert_eq!(b.warp_instructions, s.warp_instructions, "spec {i}");
+                    assert_eq!(b.stall_cycles, s.stall_cycles, "spec {i}");
+                    assert_eq!(b.total_threads, s.total_threads, "spec {i}");
+                }
+                (Err(b), Err(s)) => assert_eq!(b, &s, "spec {i}"),
+                (b, s) => panic!("spec {i}: batch {b:?} vs serial {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_shares_predecode_across_specs_of_one_kernel() {
+        // Same kernel reference three times: the batch predecodes it once
+        // (observable only through correctness here; the stats must match
+        // three independent launches).
+        let (cfg, k, _) = setup();
+        let mems: Vec<DeviceMemory> = (0..3).map(|_| DeviceMemory::new(1 << 16)).collect();
+        let params = [Value::from_u32(0)];
+        let specs: Vec<LaunchSpec> = mems
+            .iter()
+            .map(|mem| LaunchSpec {
+                kernel: &k,
+                dims: dims((4, 1), (32, 1, 1)),
+                params: &params,
+                mem,
+            })
+            .collect();
+        let batch = launch_batch(&cfg, &specs);
+        let first = batch[0].as_ref().unwrap();
+        for r in &batch {
+            let r = r.as_ref().unwrap();
+            assert_eq!(r.cycles, first.cycles);
+            assert_eq!(r.warp_instructions, first.warp_instructions);
+        }
+        for mem in &mems {
+            assert_eq!(mem.read(4 * 7).as_u32(), 7); // every block stores tid
+        }
     }
 
     #[test]

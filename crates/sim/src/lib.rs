@@ -59,12 +59,16 @@ pub mod config;
 pub mod counters;
 pub mod launch;
 pub mod memory;
+pub mod pool;
 pub mod reference;
 pub mod sm;
 pub mod warp;
 
 pub use config::GpuConfig;
 pub use counters::{KernelStats, StallReason};
-pub use launch::{engine, launch, set_engine, Engine, LaunchError};
+pub use launch::{
+    engine, executor, launch, launch_batch, set_engine, set_executor, Engine, Executor,
+    LaunchError, LaunchSpec,
+};
 pub use memory::DeviceMemory;
 pub use sm::LaunchDims;

@@ -6,9 +6,15 @@
 //! counters, everything. A single diverging counter means the optimization
 //! changed simulated timing and is a bug.
 //!
-//! The engine selector is process-global, so all workloads run inside one
-//! `#[test]` (the default parallel test runner would otherwise race the
-//! toggle).
+//! The same contract covers the executor axis: the pooled work-stealing
+//! executor must produce stats bit-identical to the frozen per-launch
+//! `thread::scope` spawn baseline, so every workload also runs once under
+//! `Executor::SpawnPerLaunch` and once under `Executor::Pooled` (both on
+//! the predecoded engine).
+//!
+//! The engine/executor selectors are process-global, so all workloads run
+//! inside one `#[test]` (the default parallel test runner would otherwise
+//! race the toggles).
 
 use g80::apps::cp::CoulombicPotential;
 use g80::apps::matmul::{MatMul, Variant};
@@ -17,7 +23,7 @@ use g80::apps::rc5::Rc5;
 use g80::apps::sad::SadApp;
 use g80::apps::saxpy::Saxpy;
 use g80::apps::tpacf::Tpacf;
-use g80::sim::{set_engine, Engine, KernelStats};
+use g80::sim::{set_engine, set_executor, Engine, Executor, KernelStats};
 
 /// Asserts the named fields equal between the two runs.
 macro_rules! assert_fields_eq {
@@ -67,13 +73,21 @@ fn assert_stats_identical(label: &str, a: &KernelStats, b: &KernelStats) {
     );
 }
 
-/// Runs the workload on both engines and compares the stats.
+/// Runs the workload on both engines and both executors and compares the
+/// stats across every axis.
 fn check(label: &str, mut run: impl FnMut() -> KernelStats) {
     set_engine(Engine::Reference);
     let reference = run();
     set_engine(Engine::Predecoded);
     let predecoded = run();
     assert_stats_identical(label, &reference, &predecoded);
+
+    // Executor axis, on the (default) predecoded engine.
+    set_executor(Executor::SpawnPerLaunch);
+    let spawned = run();
+    set_executor(Executor::Pooled);
+    let pooled = run();
+    assert_stats_identical(&format!("{label} [executor]"), &spawned, &pooled);
 }
 
 #[test]

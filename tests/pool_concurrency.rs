@@ -1,0 +1,98 @@
+//! Concurrency equivalence for the shared worker pool: many host threads
+//! launching into one `DeviceMemory` at once must each observe exactly the
+//! stats a serial launch produces. The pool moves *where* SM tasks execute,
+//! never *what* they compute — these tests pin that down under real
+//! contention (all launches' tasks interleave in one task queue set).
+
+use g80::isa::builder::KernelBuilder;
+use g80::isa::Value;
+use g80::sim::{launch, launch_batch, DeviceMemory, GpuConfig, LaunchDims, LaunchSpec};
+
+/// Streaming kernel: out[i] = i * 3 for the global thread index i — every
+/// launch writes the same values, so concurrent launches are idempotent.
+fn streaming_kernel() -> g80::isa::Kernel {
+    let mut b = KernelBuilder::new("stream3");
+    let p = b.param();
+    let tid = b.tid_x();
+    let ntid = b.ntid_x();
+    let cta = b.ctaid_x();
+    let i = b.imad(cta, ntid, tid);
+    let v = b.imul(i, 3u32);
+    let byte = b.shl(i, 2u32);
+    let a = b.iadd(byte, p);
+    b.st_global(a, 0, v);
+    b.build()
+}
+
+#[test]
+fn eight_host_threads_match_the_serial_run() {
+    let cfg = GpuConfig::geforce_8800_gtx();
+    let k = streaming_kernel();
+    let dims = LaunchDims {
+        grid: (8, 1),
+        block: (128, 1, 1),
+    };
+    let params = [Value::from_u32(0)];
+    let mem = DeviceMemory::new(8 * 128 * 4);
+
+    let serial = launch(&cfg, &k, dims, &params, &mem).unwrap();
+
+    let all: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| s.spawn(|| launch(&cfg, &k, dims, &params, &mem).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for stats in &all {
+        assert_eq!(stats.cycles, serial.cycles);
+        assert_eq!(stats.warp_instructions, serial.warp_instructions);
+        assert_eq!(stats.stall_cycles, serial.stall_cycles);
+        assert_eq!(stats.global_bytes, serial.global_bytes);
+        assert_eq!(stats.blocks_executed, serial.blocks_executed);
+    }
+    for i in 0..8 * 128u32 {
+        assert_eq!(mem.read(i * 4).as_u32(), i * 3);
+    }
+}
+
+#[test]
+fn concurrent_batches_from_many_threads_stay_deterministic() {
+    let cfg = GpuConfig::geforce_8800_gtx();
+    let k = streaming_kernel();
+    let params = [Value::from_u32(0)];
+    // Four grid sizes → four distinct expected stats, launched from four
+    // threads as batches, repeatedly, all sharing one memory.
+    let grids = [1u32, 2, 4, 8];
+    let mem = DeviceMemory::new(8 * 128 * 4);
+    let dims = |g: u32| LaunchDims {
+        grid: (g, 1),
+        block: (128, 1, 1),
+    };
+    let serial: Vec<_> = grids
+        .iter()
+        .map(|&g| launch(&cfg, &k, dims(g), &params, &mem).unwrap())
+        .collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                let specs: Vec<LaunchSpec> = grids
+                    .iter()
+                    .map(|&g| LaunchSpec {
+                        kernel: &k,
+                        dims: dims(g),
+                        params: &params,
+                        mem: &mem,
+                    })
+                    .collect();
+                for (want, got) in serial.iter().zip(launch_batch(&cfg, &specs)) {
+                    let got = got.unwrap();
+                    assert_eq!(got.cycles, want.cycles);
+                    assert_eq!(got.warp_instructions, want.warp_instructions);
+                    assert_eq!(got.blocks_executed, want.blocks_executed);
+                }
+            });
+        }
+    });
+}
