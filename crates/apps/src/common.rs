@@ -193,6 +193,7 @@ mod tests {
                 d2h_s: 0.5,
                 launches: 1,
                 kernel_cycles: 0,
+                memo_hits: 0,
             },
             cpu_kernel_s: 100.0,
             kernel_cpu_fraction: 0.5,

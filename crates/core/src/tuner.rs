@@ -31,14 +31,35 @@ pub struct SweepResult<C> {
     pub samples: Vec<Sample<C>>,
     /// Index of the best sample.
     pub best: usize,
+    /// Launch-memo-cache hits observed while this sweep ran. A fleet that
+    /// revisits configurations pays simulation only for the misses; the hit
+    /// rate is what makes the revisit speedup auditable. Measured as the
+    /// delta of the process-wide [`g80_sim::memo_counters`], so concurrent
+    /// launches outside the sweep are attributed to it as well.
+    pub memo_hits: u64,
+    /// Launch-memo-cache misses observed while this sweep ran.
+    pub memo_misses: u64,
 }
 
 impl<C> SweepResult<C> {
     /// Builds a result from already-evaluated samples (e.g. a
-    /// `launch_batch` sweep), computing the best index.
+    /// `launch_batch` sweep), computing the best index. Cache activity
+    /// happened outside this call, so the memo counters are zero; diff
+    /// [`g80_sim::memo_counters`] around the evaluation to attribute it.
     pub fn from_samples(samples: Vec<Sample<C>>) -> Self {
         assert!(!samples.is_empty(), "empty configuration space");
-        finish(samples)
+        finish(samples, 0, 0)
+    }
+
+    /// Memo-cache hit fraction over this sweep's launches (0 when nothing
+    /// was probed — e.g. the cache is disabled).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
     }
 
     pub fn best_sample(&self) -> &Sample<C> {
@@ -56,14 +77,16 @@ impl<C> SweepResult<C> {
 /// Evaluates every configuration sequentially.
 pub fn sweep<C: Clone>(configs: &[C], mut eval: impl FnMut(&C) -> KernelStats) -> SweepResult<C> {
     assert!(!configs.is_empty(), "empty configuration space");
-    let samples: Vec<Sample<C>> = configs
-        .iter()
-        .map(|c| Sample {
-            config: c.clone(),
-            stats: eval(c),
-        })
-        .collect();
-    finish(samples)
+    let (samples, hits, misses) = with_memo_delta(|| {
+        configs
+            .iter()
+            .map(|c| Sample {
+                config: c.clone(),
+                stats: eval(c),
+            })
+            .collect()
+    });
+    finish(samples, hits, misses)
 }
 
 /// Evaluates every configuration in parallel on the shared simulation
@@ -77,7 +100,9 @@ pub fn sweep_parallel<C: Clone + Send + Sync>(
 ) -> SweepResult<C> {
     assert!(!configs.is_empty(), "empty configuration space");
     let eval = &eval;
-    let stats = g80_sim::pool::run_tasks(configs.iter().map(|c| move || eval(c)).collect());
+    let (stats, hits, misses) = with_memo_delta(|| {
+        g80_sim::pool::run_tasks(configs.iter().map(|c| move || eval(c)).collect())
+    });
     finish(
         configs
             .iter()
@@ -87,17 +112,38 @@ pub fn sweep_parallel<C: Clone + Send + Sync>(
                 stats,
             })
             .collect(),
+        hits,
+        misses,
     )
 }
 
-fn finish<C>(samples: Vec<Sample<C>>) -> SweepResult<C> {
+/// Runs `f` and returns its result plus the memo hit/miss counts it caused
+/// (delta of the process-wide counters; saturating so a concurrent
+/// [`g80_sim::reset_memo_counters`] cannot underflow).
+fn with_memo_delta<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let before = g80_sim::memo_counters();
+    let out = f();
+    let after = g80_sim::memo_counters();
+    (
+        out,
+        after.hits.saturating_sub(before.hits),
+        after.misses.saturating_sub(before.misses),
+    )
+}
+
+fn finish<C>(samples: Vec<Sample<C>>, memo_hits: u64, memo_misses: u64) -> SweepResult<C> {
     let best = samples
         .iter()
         .enumerate()
         .max_by(|(_, a), (_, b)| a.score().total_cmp(&b.score()))
         .map(|(i, _)| i)
         .unwrap();
-    SweepResult { samples, best }
+    SweepResult {
+        samples,
+        best,
+        memo_hits,
+        memo_misses,
+    }
 }
 
 /// Greedy hill-climbing from a start configuration: repeatedly move to the
@@ -216,6 +262,63 @@ mod tests {
         // Scores along the path strictly improve.
         for w in path.windows(2) {
             assert!(w[1].score() > w[0].score());
+        }
+    }
+
+    #[test]
+    fn revisit_sweep_reports_memo_hits() {
+        // Meaningless when the cache is globally disabled (the CI matrix
+        // runs the suite with G80_SIM_MEMO=off).
+        if g80_sim::memo() == g80_sim::Memo::Off {
+            return;
+        }
+        // The revisit needs every config still resident (the CI matrix
+        // forces G80_SIM_MEMO_CAP=1, under which each launch evicts the
+        // previous one), so pin a capacity that holds the whole sweep.
+        g80_sim::set_memo_capacity(64);
+        // A kernel unique to this test (the 0x5eed xor is its fingerprint),
+        // so no other test can pre-warm its cache entries. Counter deltas
+        // are process-wide, so concurrent tests can only *inflate* them —
+        // all assertions are lower bounds.
+        let eval = |&threads: &u32| -> KernelStats {
+            let mut b = KernelBuilder::new("revisit");
+            let p = b.param();
+            let tid = b.tid_x();
+            let ntid = b.ntid_x();
+            let cta = b.ctaid_x();
+            let i = b.imad(cta, ntid, tid);
+            let m = b.xor(i, 0x5eedu32);
+            let byte = b.shl(i, 2u32);
+            let a = b.iadd(byte, p);
+            b.st_global(a, 0, m);
+            let k = b.build();
+            let mem = DeviceMemory::new(1 << 16);
+            launch(
+                &GpuConfig::geforce_8800_gtx(),
+                &k,
+                LaunchDims {
+                    grid: ((1 << 12) / threads, 1),
+                    block: (threads, 1, 1),
+                },
+                &[Value::from_u32(0)],
+                &mem,
+            )
+            .unwrap()
+        };
+        let configs = [32u32, 64, 128, 256];
+        let cold = sweep(&configs, eval);
+        assert!(
+            cold.memo_misses >= configs.len() as u64,
+            "first visit must simulate every configuration: {cold:?}"
+        );
+        let warm = sweep(&configs, eval);
+        assert!(
+            warm.memo_hits >= configs.len() as u64,
+            "revisit must be served by the launch memo cache: {warm:?}"
+        );
+        assert!(warm.memo_hit_rate() > 0.0);
+        for (a, b) in cold.samples.iter().zip(&warm.samples) {
+            assert_eq!(a.stats.cycles, b.stats.cycles);
         }
     }
 

@@ -4,7 +4,7 @@
 
 use crate::transfer::PcieModel;
 use g80_isa::{Kernel, Operand, Value};
-use g80_sim::{launch, DeviceMemory, GpuConfig, KernelStats, LaunchDims};
+use g80_sim::{launch_traced, DeviceMemory, GpuConfig, KernelStats, LaunchDims};
 use std::cell::RefCell;
 use std::marker::PhantomData;
 
@@ -85,6 +85,9 @@ pub struct Timeline {
     pub launches: u64,
     /// Total simulated GPU cycles.
     pub kernel_cycles: u64,
+    /// Launches answered from the simulator's launch memo cache (their
+    /// `kernel_s`/`kernel_cycles` were replayed, not simulated).
+    pub memo_hits: u64,
 }
 
 impl Timeline {
@@ -105,6 +108,16 @@ impl Timeline {
     /// Transfer seconds (both directions).
     pub fn transfer_s(&self) -> f64 {
         self.h2d_s + self.d2h_s
+    }
+    /// Fraction of this device's launches served by the launch memo cache
+    /// (0 when nothing launched). Process-wide totals — across devices and
+    /// including block-class dedup — live in [`g80_sim::memo_counters`].
+    pub fn memo_hit_rate(&self) -> f64 {
+        if self.launches == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / self.launches as f64
+        }
     }
 }
 
@@ -212,24 +225,25 @@ impl Device {
         block: (u32, u32, u32),
         params: &[Value],
     ) -> Result<KernelStats, g80_sim::LaunchError> {
-        let stats = launch(
+        let (stats, memo_hit) = launch_traced(
             &self.cfg,
             kernel,
             LaunchDims { grid, block },
             params,
             &self.mem,
         )?;
-        self.record_kernel(&stats);
+        self.record_kernel(&stats, memo_hit);
         Ok(stats)
     }
 
     /// Accounts one completed kernel on the timeline (shared by [`launch`]
     /// and [`launch_batch`]).
-    fn record_kernel(&self, stats: &KernelStats) {
+    fn record_kernel(&self, stats: &KernelStats, memo_hit: bool) {
         let mut t = self.timeline.borrow_mut();
         t.kernel_s += stats.elapsed;
         t.kernel_cycles += stats.cycles;
         t.launches += 1;
+        t.memo_hits += memo_hit as u64;
     }
 
     /// The accumulated execution timeline.
@@ -282,13 +296,16 @@ pub fn launch_batch(entries: &[BatchLaunch]) -> Vec<Result<KernelStats, g80_sim:
             mem: e.device.memory(),
         })
         .collect();
-    let results = g80_sim::launch_batch(cfg, &specs);
+    let results = g80_sim::launch_batch_traced(cfg, &specs);
     for (e, r) in entries.iter().zip(&results) {
-        if let Ok(stats) = r {
-            e.device.record_kernel(stats);
+        if let Ok((stats, memo_hit)) = r {
+            e.device.record_kernel(stats, *memo_hit);
         }
     }
     results
+        .into_iter()
+        .map(|r| r.map(|(stats, _)| stats))
+        .collect()
 }
 
 #[cfg(test)]
@@ -419,6 +436,50 @@ mod tests {
             assert_eq!(t.kernel_cycles, serial.cycles);
         }
         assert!(launch_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn timeline_counts_memo_hits() {
+        // Hit accounting is meaningless when the cache is globally disabled
+        // (the CI matrix runs the suite with G80_SIM_MEMO=off).
+        if g80_sim::memo() == g80_sim::Memo::Off {
+            return;
+        }
+        // The memo key digests the full pre-launch memory image, so the
+        // first repeat differs (the output region went from zeros to
+        // results) and re-records; from then on the image is a fixed point
+        // and every further repeat must hit the cache.
+        let mut b = KernelBuilder::new("scale_oop");
+        let src = b.param();
+        let dst = b.param();
+        let tid = b.tid_x();
+        let byte = b.shl(tid, 2u32);
+        let sa = b.iadd(byte, src);
+        let v = b.ld_global(sa, 0);
+        let w = b.fmul(v, 7.5f32);
+        let da = b.iadd(byte, dst);
+        b.st_global(da, 0, w);
+        let k = b.build();
+
+        let mut d = Device::new(1 << 14);
+        let x = d.alloc::<f32>(128);
+        let y = d.alloc::<f32>(128);
+        d.copy_to_device(&x, &vec![2.0f32; 128]);
+        let params = [x.as_param(), y.as_param()];
+        let first = d.launch(&k, (1, 1), (128, 1, 1), &params).unwrap();
+        let second = d.launch(&k, (1, 1), (128, 1, 1), &params).unwrap();
+        let third = d.launch(&k, (1, 1), (128, 1, 1), &params).unwrap();
+        assert_eq!(first.cycles, second.cycles);
+        assert_eq!(first.cycles, third.cycles);
+        assert!(d.copy_from_device(&y).iter().all(|&v| v == 15.0));
+
+        let t = d.timeline();
+        assert_eq!(t.launches, 3);
+        assert_eq!(
+            t.memo_hits, 1,
+            "fixed-point repeat must replay from the memo cache"
+        );
+        assert!((t.memo_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -278,7 +278,7 @@ impl Pred {
 }
 
 /// A single instruction.
-#[derive(Copy, Clone, PartialEq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Inst {
     /// Two-source ALU operation: `dst = a op b`.
     Alu {

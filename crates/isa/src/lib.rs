@@ -39,6 +39,7 @@
 //! ```
 
 pub mod builder;
+pub mod dataflow;
 pub mod decode;
 pub mod disasm;
 pub mod exec;
@@ -51,6 +52,7 @@ pub mod regalloc;
 mod value;
 
 pub use builder::{BuildOptions, KernelBuilder, Unroll};
+pub use dataflow::TaintSummary;
 pub use decode::{DecodedKernel, IssueClass, MemKind, MicroOp};
 pub use inst::{
     AluOp, AtomOp, CmpOp, Inst, InstClass, Label, Operand, Pred, Reg, Scalar, SfuOp, Space,

@@ -54,6 +54,72 @@ impl SmStats {
     pub(crate) fn stall(&mut self, reason: StallReason, cycles: u64) {
         *self.stall_cycles.entry(reason).or_insert(0) += cycles;
     }
+
+    /// Counter increments since `base` (a clone of this struct taken
+    /// earlier). Used by block-class dedup: the delta of one steady-state
+    /// period is what a fast-forwarded period contributes. `cycles` is
+    /// excluded — the scheduler maintains it separately mid-run.
+    pub(crate) fn delta_since(&self, base: &SmStats) -> SmStats {
+        let mut d = SmStats {
+            warp_instructions: self.warp_instructions - base.warp_instructions,
+            thread_instructions: self.thread_instructions - base.thread_instructions,
+            flops: self.flops - base.flops,
+            global_ld_transactions: self.global_ld_transactions - base.global_ld_transactions,
+            global_st_transactions: self.global_st_transactions - base.global_st_transactions,
+            global_bytes: self.global_bytes - base.global_bytes,
+            coalesced_half_warps: self.coalesced_half_warps - base.coalesced_half_warps,
+            uncoalesced_half_warps: self.uncoalesced_half_warps - base.uncoalesced_half_warps,
+            smem_conflict_extra_cycles: self.smem_conflict_extra_cycles
+                - base.smem_conflict_extra_cycles,
+            divergent_branches: self.divergent_branches - base.divergent_branches,
+            tex_hits: self.tex_hits - base.tex_hits,
+            tex_misses: self.tex_misses - base.tex_misses,
+            const_hits: self.const_hits - base.const_hits,
+            const_misses: self.const_misses - base.const_misses,
+            atomic_transactions: self.atomic_transactions - base.atomic_transactions,
+            blocks_executed: self.blocks_executed - base.blocks_executed,
+            ..Default::default()
+        };
+        for (k, v) in &self.by_class {
+            let inc = v - base.by_class.get(k).copied().unwrap_or(0);
+            if inc > 0 {
+                d.by_class.insert(*k, inc);
+            }
+        }
+        for (k, v) in &self.stall_cycles {
+            let inc = v - base.stall_cycles.get(k).copied().unwrap_or(0);
+            if inc > 0 {
+                d.stall_cycles.insert(*k, inc);
+            }
+        }
+        d
+    }
+
+    /// Adds a period delta produced by [`SmStats::delta_since`].
+    pub(crate) fn add_delta(&mut self, d: &SmStats) {
+        self.warp_instructions += d.warp_instructions;
+        self.thread_instructions += d.thread_instructions;
+        self.flops += d.flops;
+        self.global_ld_transactions += d.global_ld_transactions;
+        self.global_st_transactions += d.global_st_transactions;
+        self.global_bytes += d.global_bytes;
+        self.coalesced_half_warps += d.coalesced_half_warps;
+        self.uncoalesced_half_warps += d.uncoalesced_half_warps;
+        self.smem_conflict_extra_cycles += d.smem_conflict_extra_cycles;
+        self.divergent_branches += d.divergent_branches;
+        self.tex_hits += d.tex_hits;
+        self.tex_misses += d.tex_misses;
+        self.const_hits += d.const_hits;
+        self.const_misses += d.const_misses;
+        self.atomic_transactions += d.atomic_transactions;
+        self.blocks_executed += d.blocks_executed;
+        for (k, v) in &d.by_class {
+            *self.by_class.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &d.stall_cycles {
+            *self.stall_cycles.entry(*k).or_insert(0) += v;
+        }
+    }
 }
 
 /// Aggregated result of a kernel launch.

@@ -20,12 +20,16 @@
 
 use crate::config::GpuConfig;
 use crate::counters::{KernelStats, SmStats};
+use crate::memo;
 use crate::memory::DeviceMemory;
 use crate::pool;
 use crate::reference::run_sm_reference;
 use crate::sm::{run_sm, LaunchDims};
+use crate::witness::{replay_sm, Ev};
 use g80_isa::{DecodedKernel, Kernel, Value};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Which timing-engine implementation [`launch`] uses. Both produce
 /// bit-identical [`KernelStats`]; they differ only in host-side speed.
@@ -194,6 +198,9 @@ impl<'a> Prepared<'a> {
         decoded: Option<&DecodedKernel>,
         blocks: &[(u32, u32)],
         cfg: &GpuConfig,
+        dedup: bool,
+        shared_uniform: bool,
+        witness_out: Option<&mut Option<Vec<Vec<Ev>>>>,
     ) -> SmStats {
         let s = &self.spec;
         match decoded {
@@ -206,6 +213,9 @@ impl<'a> Prepared<'a> {
                 s.mem,
                 blocks,
                 self.blocks_per_sm,
+                dedup,
+                shared_uniform,
+                witness_out,
             ),
             None => run_sm_reference(
                 cfg,
@@ -217,6 +227,50 @@ impl<'a> Prepared<'a> {
                 self.blocks_per_sm,
             ),
         }
+    }
+
+    /// Donor-SM reuse: if this SM's block queue is exactly as long as the
+    /// donor's and every block replays clean against the donor's verified
+    /// witness, the SM's evolution is the same deterministic computation as
+    /// the donor's — adopt the donor's stats and commit the replayed writes.
+    /// Any mismatch falls back to full simulation (nothing committed).
+    #[allow(clippy::too_many_arguments)]
+    fn reuse_or_run_sm(
+        &self,
+        cfg: &GpuConfig,
+        decoded: &DecodedKernel,
+        shared_uniform: bool,
+        blocks: &[(u32, u32)],
+        donor_len: usize,
+        donor_stats: &SmStats,
+        rep: Option<&[Vec<Ev>]>,
+    ) -> SmStats {
+        if let Some(rep) = rep {
+            if blocks.len() == donor_len {
+                let s = &self.spec;
+                let file_regs = s
+                    .kernel
+                    .regs_per_thread
+                    .max(g80_isa::liveness::num_regs(&s.kernel.code) as u32);
+                if replay_sm(
+                    cfg,
+                    s.kernel,
+                    decoded,
+                    &s.dims,
+                    s.params,
+                    s.mem,
+                    blocks,
+                    file_regs,
+                    rep,
+                    shared_uniform,
+                ) {
+                    memo::count_dedup_fast_blocks(blocks.len() as u64);
+                    return donor_stats.clone();
+                }
+                memo::count_dedup_fallback();
+            }
+        }
+        self.run_sm(Some(decoded), blocks, cfg, true, shared_uniform, None)
     }
 
     fn merge(&self, cfg: &GpuConfig, results: Vec<SmStats>) -> KernelStats {
@@ -249,25 +303,77 @@ pub fn launch(
         params,
         mem,
     };
+    // A single launch has exclusive use of its memory for the duration of
+    // the call (the caller handed us `&DeviceMemory` and blocks on the
+    // result), so the memo snapshot/diff is sound.
+    launch_with_memo(cfg, spec, true).map(|(stats, _)| stats)
+}
+
+/// [`launch`], but also reports whether the result came from the launch
+/// memo cache (`true` = replayed, no simulation ran). Host runtimes use
+/// this to attribute cache activity to the launch that caused it instead
+/// of diffing the process-wide [`memo_counters`].
+pub fn launch_traced(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    dims: LaunchDims,
+    params: &[Value],
+    mem: &DeviceMemory,
+) -> Result<(KernelStats, bool), LaunchError> {
+    let spec = LaunchSpec {
+        kernel,
+        dims,
+        params,
+        mem,
+    };
+    launch_with_memo(cfg, spec, true)
+}
+
+/// [`launch`] body with an explicit memo-exclusivity verdict (batches pass
+/// `false` for specs that share a [`DeviceMemory`] with a concurrent spec).
+/// The boolean in the result is the memo-hit verdict.
+fn launch_with_memo(
+    cfg: &GpuConfig,
+    spec: LaunchSpec,
+    exclusive_mem: bool,
+) -> Result<(KernelStats, bool), LaunchError> {
     let blocks_per_sm = validate(cfg, &spec)?;
+    let lookup = memo::memo_lookup(
+        cfg,
+        spec.kernel,
+        spec.dims,
+        spec.params,
+        spec.mem,
+        exclusive_mem,
+    );
+    if let memo::MemoLookup::Hit(stats) = lookup {
+        return Ok((*stats, true));
+    }
     let prepared = Prepared {
         spec,
         blocks_per_sm,
-        per_sm_blocks: assign_blocks(cfg, dims),
+        per_sm_blocks: assign_blocks(cfg, spec.dims),
     };
 
-    // Predecode once per launch; every SM task shares the table.
-    let decoded = match engine() {
-        Engine::Predecoded => Some(DecodedKernel::new(kernel)),
+    // Predecode (and dataflow-analyze) once per process per kernel content.
+    let info = match engine() {
+        Engine::Predecoded => Some(memo::kernel_info(spec.kernel)),
         Engine::Reference => None,
     };
-    let decoded = decoded.as_ref();
+    let decoded = info.as_deref().map(|i| &i.decoded);
+    let dedup =
+        memo::dedup() == memo::Dedup::On && info.as_deref().is_some_and(|i| i.dedup_eligible);
+    let shared_uniform = info.as_deref().is_some_and(|i| i.shared_uniform);
 
     let results = match executor() {
-        Executor::Pooled => run_sms_pooled(cfg, &prepared, decoded),
-        Executor::SpawnPerLaunch => run_sms_spawn(cfg, &prepared, decoded),
+        Executor::Pooled => run_sms_pooled(cfg, &prepared, decoded, dedup, shared_uniform),
+        Executor::SpawnPerLaunch => run_sms_spawn(cfg, &prepared, decoded, dedup, shared_uniform),
     };
-    Ok(prepared.merge(cfg, results))
+    let stats = prepared.merge(cfg, results);
+    if let memo::MemoLookup::Miss(pending) = lookup {
+        memo::memo_record(pending, prepared.spec.mem, &stats);
+    }
+    Ok((stats, false))
 }
 
 /// Default path: one pool task per SM *with work to do*. An empty SM's
@@ -278,6 +384,8 @@ fn run_sms_pooled(
     cfg: &GpuConfig,
     prepared: &Prepared,
     decoded: Option<&DecodedKernel>,
+    dedup: bool,
+    shared_uniform: bool,
 ) -> Vec<SmStats> {
     let busy: Vec<(usize, &Vec<(u32, u32)>)> = prepared
         .per_sm_blocks
@@ -285,12 +393,60 @@ fn run_sms_pooled(
         .enumerate()
         .filter(|(_, blocks)| !blocks.is_empty())
         .collect();
+    let mut results: Vec<SmStats> = vec![SmStats::default(); cfg.num_sms as usize];
+
+    // Donor-SM reuse: the first SM runs to completion on the caller thread,
+    // exporting its verified witness streams. Every other SM with an
+    // equally-long block queue evolves identically (same deterministic
+    // computation once its blocks are verified class-identical), so it
+    // replays functionally and adopts the donor's stats.
+    if let (true, Some(d)) = (dedup && busy.len() > 1, decoded) {
+        let (donor_sm, donor_blocks) = busy[0];
+        let mut rep: Option<Vec<Vec<Ev>>> = None;
+        let donor_stats = prepared.run_sm(
+            decoded,
+            donor_blocks,
+            cfg,
+            true,
+            shared_uniform,
+            Some(&mut rep),
+        );
+        let rep = rep; // frozen for shared capture below
+        let donor_len = donor_blocks.len();
+        let donor_ref = &donor_stats;
+        let rep_ref = rep.as_deref();
+        let partial = pool::run_tasks(
+            busy[1..]
+                .iter()
+                .map(|&(_, blocks)| {
+                    move || {
+                        prepared.reuse_or_run_sm(
+                            cfg,
+                            d,
+                            shared_uniform,
+                            blocks,
+                            donor_len,
+                            donor_ref,
+                            rep_ref,
+                        )
+                    }
+                })
+                .collect(),
+        );
+        for ((sm, _), stats) in busy[1..].iter().zip(partial) {
+            results[*sm] = stats;
+        }
+        results[donor_sm] = donor_stats;
+        return results;
+    }
+
     let partial = pool::run_tasks(
         busy.iter()
-            .map(|&(_, blocks)| move || prepared.run_sm(decoded, blocks, cfg))
+            .map(|&(_, blocks)| {
+                move || prepared.run_sm(decoded, blocks, cfg, dedup, shared_uniform, None)
+            })
             .collect(),
     );
-    let mut results: Vec<SmStats> = vec![SmStats::default(); cfg.num_sms as usize];
     for ((sm, _), stats) in busy.into_iter().zip(partial) {
         results[sm] = stats;
     }
@@ -304,13 +460,19 @@ fn run_sms_spawn(
     cfg: &GpuConfig,
     prepared: &Prepared,
     decoded: Option<&DecodedKernel>,
+    dedup: bool,
+    shared_uniform: bool,
 ) -> Vec<SmStats> {
     let mut results: Vec<SmStats> = Vec::with_capacity(cfg.num_sms as usize);
     std::thread::scope(|scope| {
         let handles: Vec<_> = prepared
             .per_sm_blocks
             .iter()
-            .map(|blocks| scope.spawn(move || prepared.run_sm(decoded, blocks, cfg)))
+            .map(|blocks| {
+                scope.spawn(move || {
+                    prepared.run_sm(decoded, blocks, cfg, dedup, shared_uniform, None)
+                })
+            })
             .collect();
         for h in handles {
             results.push(h.join().expect("SM simulation thread panicked"));
@@ -332,12 +494,24 @@ pub fn launch_batch(
     cfg: &GpuConfig,
     specs: &[LaunchSpec],
 ) -> Vec<Result<KernelStats, LaunchError>> {
+    launch_batch_traced(cfg, specs)
+        .into_iter()
+        .map(|r| r.map(|(stats, _)| stats))
+        .collect()
+}
+
+/// [`launch_batch`], but each entry also reports whether it was served from
+/// the launch memo cache (see [`launch_traced`]).
+pub fn launch_batch_traced(
+    cfg: &GpuConfig,
+    specs: &[LaunchSpec],
+) -> Vec<Result<(KernelStats, bool), LaunchError>> {
     // The frozen baseline executes the batch as the studies used to: one
     // launch at a time, each paying its own spawn burst.
     if executor() == Executor::SpawnPerLaunch {
         return specs
             .iter()
-            .map(|s| launch(cfg, s.kernel, s.dims, s.params, s.mem))
+            .map(|s| launch_with_memo(cfg, *s, true))
             .collect();
     }
 
@@ -353,33 +527,63 @@ pub fn launch_batch(
         })
         .collect();
 
-    // Predecode each distinct kernel once for the whole batch.
-    let decoded: std::collections::HashMap<*const Kernel, DecodedKernel> = match engine() {
-        Engine::Reference => std::collections::HashMap::new(),
-        Engine::Predecoded => prepared
-            .iter()
-            .filter_map(|p| p.as_ref().ok())
-            .map(|p| p.spec.kernel as *const Kernel)
-            .collect::<std::collections::HashSet<_>>()
-            .into_iter()
-            // SAFETY of the deref: the pointer came from a live &Kernel in
-            // `specs`, which outlives this function.
-            .map(|k| (k, DecodedKernel::new(unsafe { &*k })))
-            .collect(),
-    };
+    // Kernel info comes from the process-wide content-hash registry: each
+    // distinct kernel is predecoded (and dataflow-analyzed) once per
+    // *process*, shared across batches and with plain `launch` calls.
+    let infos: Vec<Option<Arc<memo::KernelInfo>>> = prepared
+        .iter()
+        .map(|p| match (engine(), p) {
+            (Engine::Predecoded, Ok(p)) => Some(memo::kernel_info(p.spec.kernel)),
+            _ => None,
+        })
+        .collect();
 
-    // One flat task list across all launches in the batch.
+    // Memo exclusivity: launches in the batch run concurrently, so a spec
+    // sharing its `DeviceMemory` with another spec cannot be memoized (its
+    // input snapshot / output diff would race the other launch's writes).
+    let mut mem_uses: HashMap<*const DeviceMemory, usize> = HashMap::new();
+    for s in specs {
+        *mem_uses.entry(std::ptr::from_ref(s.mem)).or_insert(0) += 1;
+    }
+
+    // Probe the memo cache per spec before any simulation starts. Hits
+    // apply their memory delta immediately, which is safe precisely because
+    // only exclusively-owned memories are probed.
+    let mut hit_stats: Vec<Option<KernelStats>> = vec![None; specs.len()];
+    let mut pendings: Vec<Option<memo::MemoPending>> = Vec::with_capacity(specs.len());
+    for (si, p) in prepared.iter().enumerate() {
+        let mut pending = None;
+        if let Ok(p) = p {
+            let exclusive = mem_uses[&std::ptr::from_ref(p.spec.mem)] == 1;
+            let s = &p.spec;
+            match memo::memo_lookup(cfg, s.kernel, s.dims, s.params, s.mem, exclusive) {
+                memo::MemoLookup::Hit(stats) => hit_stats[si] = Some(*stats),
+                memo::MemoLookup::Miss(pend) => pending = Some(pend),
+                memo::MemoLookup::Disabled => {}
+            }
+        }
+        pendings.push(pending);
+    }
+
+    // One flat task list across all launches in the batch; memo hits are
+    // already resolved and submit no tasks.
+    let dedup_on = memo::dedup() == memo::Dedup::On;
     let mut tasks: Vec<Box<dyn FnOnce() -> SmStats + Send + '_>> = Vec::new();
     let mut owners: Vec<(usize, usize)> = Vec::new(); // (spec index, sm index)
     for (si, p) in prepared.iter().enumerate() {
         let Ok(p) = p else { continue };
-        let d = decoded.get(&(p.spec.kernel as *const Kernel));
+        if hit_stats[si].is_some() {
+            continue;
+        }
+        let d = infos[si].as_deref().map(|i| &i.decoded);
+        let dedup = dedup_on && infos[si].as_deref().is_some_and(|i| i.dedup_eligible);
+        let su = infos[si].as_deref().is_some_and(|i| i.shared_uniform);
         for (sm, blocks) in p.per_sm_blocks.iter().enumerate() {
             if blocks.is_empty() {
                 continue;
             }
             owners.push((si, sm));
-            tasks.push(Box::new(move || p.run_sm(d, blocks, cfg)));
+            tasks.push(Box::new(move || p.run_sm(d, blocks, cfg, dedup, su, None)));
         }
     }
     let flat = pool::run_tasks(tasks);
@@ -398,7 +602,19 @@ pub fn launch_batch(
     prepared
         .into_iter()
         .zip(per_spec)
-        .map(|(p, results)| p.map(|p| p.merge(cfg, results)))
+        .enumerate()
+        .map(|(si, (p, results))| {
+            p.map(|p| {
+                if let Some(stats) = hit_stats[si].take() {
+                    return (stats, true);
+                }
+                let stats = p.merge(cfg, results);
+                if let Some(pending) = pendings[si].take() {
+                    memo::memo_record(pending, p.spec.mem, &stats);
+                }
+                (stats, false)
+            })
+        })
         .collect()
 }
 

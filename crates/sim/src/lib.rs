@@ -58,17 +58,23 @@
 pub mod config;
 pub mod counters;
 pub mod launch;
+pub mod memo;
 pub mod memory;
 pub mod pool;
 pub mod reference;
 pub mod sm;
 pub mod warp;
+mod witness;
 
 pub use config::GpuConfig;
 pub use counters::{KernelStats, StallReason};
 pub use launch::{
-    engine, executor, launch, launch_batch, set_engine, set_executor, Engine, Executor,
-    LaunchError, LaunchSpec,
+    engine, executor, launch, launch_batch, launch_batch_traced, launch_traced, set_engine,
+    set_executor, Engine, Executor, LaunchError, LaunchSpec,
+};
+pub use memo::{
+    clear_memo_cache, dedup, kernel_info, memo, memo_counters, reset_memo_counters, set_dedup,
+    set_memo, set_memo_capacity, Dedup, KernelInfo, Memo, MemoCounters,
 };
 pub use memory::DeviceMemory;
 pub use sm::LaunchDims;

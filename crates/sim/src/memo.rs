@@ -1,0 +1,589 @@
+//! Launch memoization and the process-wide predecode registry.
+//!
+//! The paper's methodology is a *search*: tuner fleets and sweeps re-run
+//! launches that are bit-identical to ones already simulated. The memo
+//! cache makes the repeat free. A launch is keyed by everything that can
+//! influence its result — kernel content, launch geometry, machine config,
+//! parameter values, and a digest of the full pre-launch device-memory
+//! image (global words, constant bank, texture binding) — plus the active
+//! engine/executor/dedup mode, so A/B comparisons across those axes never
+//! share entries. A hit replays the launch's recorded effect: the cached
+//! [`KernelStats`] is returned and the recorded sparse memory delta is
+//! re-applied, leaving memory bit-identical to a real simulation.
+//!
+//! The same module hosts the predecode registry: a content-hash-keyed map
+//! from kernel code to its [`DecodedKernel`] plus the dataflow facts the
+//! block-deduplication layer needs ([`KernelInfo`]), so repeated single
+//! launches predecode and analyze once per process, not once per launch.
+//!
+//! Both structures are bounded (LRU eviction) and behind the same toggle
+//! pattern as [`crate::launch::Engine`]: `G80_SIM_MEMO=off` /
+//! [`set_memo`] freeze the uncached baseline.
+
+use crate::config::GpuConfig;
+use crate::counters::KernelStats;
+use crate::memory::DeviceMemory;
+use crate::sm::LaunchDims;
+use g80_isa::dataflow::{self, TaintSummary};
+use g80_isa::{DecodedKernel, Kernel, Value};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// ---- toggles ---------------------------------------------------------------
+
+/// Whether [`crate::launch`] consults the launch memo cache.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Memo {
+    /// Look up every eligible launch; record misses (default).
+    On,
+    /// Frozen baseline: always simulate.
+    Off,
+}
+
+/// Whether eligible launches use block-class deduplication inside the SM
+/// scheduler (see [`crate::witness`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Dedup {
+    /// Detect steady-state block classes and fast-forward them (default).
+    On,
+    /// Frozen baseline: simulate every block in full.
+    Off,
+}
+
+// 0 = unresolved (read the env var on first use), 1 = on, 2 = off.
+static MEMO: AtomicU8 = AtomicU8::new(0);
+static DEDUP: AtomicU8 = AtomicU8::new(0);
+
+fn resolve(cell: &AtomicU8, env: &str) -> u8 {
+    match cell.load(Ordering::SeqCst) {
+        0 => {
+            let off = std::env::var(env)
+                .map(|v| matches!(v.as_str(), "off" | "0" | "false"))
+                .unwrap_or(false);
+            let v = if off { 2 } else { 1 };
+            // Racing first reads resolve to the same value.
+            cell.store(v, Ordering::SeqCst);
+            v
+        }
+        v => v,
+    }
+}
+
+/// Selects the memo mode for subsequent launches (process-wide). Overrides
+/// the `G80_SIM_MEMO` environment variable.
+pub fn set_memo(m: Memo) {
+    MEMO.store(if m == Memo::On { 1 } else { 2 }, Ordering::SeqCst);
+}
+
+/// The memo mode currently in effect (`G80_SIM_MEMO=off|0|false` disables).
+pub fn memo() -> Memo {
+    if resolve(&MEMO, "G80_SIM_MEMO") == 2 {
+        Memo::Off
+    } else {
+        Memo::On
+    }
+}
+
+/// Selects the dedup mode for subsequent launches (process-wide). Overrides
+/// the `G80_SIM_DEDUP` environment variable.
+pub fn set_dedup(d: Dedup) {
+    DEDUP.store(if d == Dedup::On { 1 } else { 2 }, Ordering::SeqCst);
+}
+
+/// The dedup mode currently in effect (`G80_SIM_DEDUP=off|0|false` disables).
+pub fn dedup() -> Dedup {
+    if resolve(&DEDUP, "G80_SIM_DEDUP") == 2 {
+        Dedup::Off
+    } else {
+        Dedup::On
+    }
+}
+
+// 0 = unresolved (read G80_SIM_MEMO_CAP on first use).
+static MEMO_CAP: AtomicUsize = AtomicUsize::new(0);
+const DEFAULT_MEMO_CAP: usize = 128;
+
+/// Sets the maximum number of cached launches (process-wide, min 1);
+/// overrides `G80_SIM_MEMO_CAP`. Shrinking evicts least-recently-used
+/// entries immediately.
+pub fn set_memo_capacity(cap: usize) {
+    MEMO_CAP.store(cap.max(1), Ordering::SeqCst);
+    let mut cache = launch_cache().lock().unwrap();
+    let cap = cap.max(1);
+    while cache.map.len() > cap {
+        cache.evict_lru();
+    }
+}
+
+fn memo_capacity() -> usize {
+    match MEMO_CAP.load(Ordering::SeqCst) {
+        0 => {
+            let cap = std::env::var("G80_SIM_MEMO_CAP")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(DEFAULT_MEMO_CAP)
+                .max(1);
+            MEMO_CAP.store(cap, Ordering::SeqCst);
+            cap
+        }
+        v => v,
+    }
+}
+
+// ---- counters --------------------------------------------------------------
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static DEDUP_FAST_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static DEDUP_SIM_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static DEDUP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn count_dedup_fast_blocks(n: u64) {
+    DEDUP_FAST_BLOCKS.fetch_add(n, Ordering::Relaxed);
+}
+pub(crate) fn count_dedup_sim_blocks(n: u64) {
+    DEDUP_SIM_BLOCKS.fetch_add(n, Ordering::Relaxed);
+}
+pub(crate) fn count_dedup_fallback() {
+    DEDUP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the redundancy-elimination counters (process-wide totals).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemoCounters {
+    /// Launches answered from the memo cache without simulating.
+    pub hits: u64,
+    /// Memo-eligible launches that had to simulate (and were recorded).
+    pub misses: u64,
+    /// Blocks whose timing was fast-forwarded by block-class dedup.
+    pub dedup_fast_blocks: u64,
+    /// Blocks fully simulated in dedup-enabled launches.
+    pub dedup_sim_blocks: u64,
+    /// Period replays that failed verification and fell back to full
+    /// simulation.
+    pub dedup_fallbacks: u64,
+}
+
+impl MemoCounters {
+    /// Hit fraction over all memo-cache probes (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Reads the process-wide redundancy-elimination counters.
+pub fn memo_counters() -> MemoCounters {
+    MemoCounters {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        dedup_fast_blocks: DEDUP_FAST_BLOCKS.load(Ordering::Relaxed),
+        dedup_sim_blocks: DEDUP_SIM_BLOCKS.load(Ordering::Relaxed),
+        dedup_fallbacks: DEDUP_FALLBACKS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the counters (for per-phase reporting in tuners and tests).
+pub fn reset_memo_counters() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    DEDUP_FAST_BLOCKS.store(0, Ordering::Relaxed);
+    DEDUP_SIM_BLOCKS.store(0, Ordering::Relaxed);
+    DEDUP_FALLBACKS.store(0, Ordering::Relaxed);
+}
+
+// ---- hashing ---------------------------------------------------------------
+
+/// 64-bit streaming hasher (multiply-xor with a strong finalizer), seeded so
+/// two instances give independent halves of a 128-bit digest.
+struct Mix64(u64);
+
+impl Mix64 {
+    fn new(seed: u64) -> Self {
+        Mix64(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+    fn finish128(a: Mix64, b: Mix64) -> (u64, u64) {
+        (a.finish(), b.finish())
+    }
+}
+
+impl Hasher for Mix64 {
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0 ^ byte as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ v as u64).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    }
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h
+    }
+}
+
+fn hash128(feed: impl Fn(&mut Mix64)) -> (u64, u64) {
+    let mut a = Mix64::new(0x243f_6a88_85a3_08d3);
+    let mut b = Mix64::new(0x1319_8a2e_0370_7344);
+    feed(&mut a);
+    feed(&mut b);
+    Mix64::finish128(a, b)
+}
+
+/// Content hash of a kernel's code (the predecode registry key).
+fn code_hash(code: &[g80_isa::Inst]) -> (u64, u64) {
+    hash128(|h| code.hash(h))
+}
+
+// ---- predecode registry ----------------------------------------------------
+
+/// Everything the launch path derives from a kernel's content, computed once
+/// per process per distinct kernel code.
+pub struct KernelInfo {
+    /// Micro-op table for the predecoded engine.
+    pub decoded: DecodedKernel,
+    /// Dataflow facts from [`g80_isa::dataflow::analyze`].
+    pub taint: TaintSummary,
+    /// Whether block-class dedup may engage: timing is data-independent and
+    /// the kernel touches no per-SM stateful resources (atomics, constant
+    /// cache, texture cache) that would couple block timing to block data
+    /// or to other blocks on the SM.
+    pub dedup_eligible: bool,
+    /// Shared-memory addresses are provably `ctaid`-free: every block's
+    /// bank-conflict degrees equal the representative's by construction, so
+    /// the replay executor skips recomputing and re-verifying them.
+    pub shared_uniform: bool,
+}
+
+struct Registry {
+    map: HashMap<(u64, u64), (Arc<KernelInfo>, u64)>,
+    tick: u64,
+}
+
+const REGISTRY_CAP: usize = 256;
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            map: HashMap::new(),
+            tick: 0,
+        })
+    })
+}
+
+/// Returns the predecoded table and dataflow facts for this kernel,
+/// computing and caching them on first sight of its code. Keyed by content,
+/// so clones and rebuilt kernels with identical code share one entry.
+pub fn kernel_info(kernel: &Kernel) -> Arc<KernelInfo> {
+    let key = code_hash(&kernel.code);
+    let mut reg = registry().lock().unwrap();
+    reg.tick += 1;
+    let tick = reg.tick;
+    if let Some((info, last_used)) = reg.map.get_mut(&key) {
+        *last_used = tick;
+        return Arc::clone(info);
+    }
+    let taint = dataflow::analyze(&kernel.code);
+    let dedup_eligible = taint.timing_data_independent()
+        && !taint.has_atomic
+        && !taint.uses_const
+        && !taint.uses_tex
+        && !kernel.code.is_empty();
+    let info = Arc::new(KernelInfo {
+        decoded: DecodedKernel::new(kernel),
+        taint,
+        dedup_eligible,
+        shared_uniform: !taint.ctaid_shared_addr,
+    });
+    if reg.map.len() >= REGISTRY_CAP {
+        if let Some(&old) = reg
+            .map
+            .iter()
+            .min_by_key(|(_, (_, used))| *used)
+            .map(|(k, _)| k)
+        {
+            reg.map.remove(&old);
+        }
+    }
+    reg.map.insert(key, (Arc::clone(&info), tick));
+    info
+}
+
+// ---- launch memo cache -----------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    kernel: (u64, u64),
+    config: u64,
+    grid: (u32, u32),
+    block: (u32, u32, u32),
+    params: u64,
+    input: (u64, u64),
+    /// Engine/executor/dedup discriminants: launches under different modes
+    /// never share entries, so A/B comparisons stay honest.
+    mode: u8,
+}
+
+struct MemoEntry {
+    stats: KernelStats,
+    /// Sparse post-launch memory effect: (word index, new value).
+    delta: Vec<(u32, u32)>,
+    last_used: u64,
+}
+
+struct LaunchCache {
+    map: HashMap<MemoKey, MemoEntry>,
+    tick: u64,
+}
+
+impl LaunchCache {
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.map.remove(&key);
+        }
+    }
+}
+
+fn launch_cache() -> &'static Mutex<LaunchCache> {
+    static CACHE: OnceLock<Mutex<LaunchCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(LaunchCache {
+            map: HashMap::new(),
+            tick: 0,
+        })
+    })
+}
+
+/// Drops every cached launch (tests).
+pub fn clear_memo_cache() {
+    launch_cache().lock().unwrap().map.clear();
+}
+
+/// Outcome of a memo-cache probe.
+pub(crate) enum MemoLookup {
+    /// Memoization is off for this launch; simulate normally.
+    Disabled,
+    /// Cache hit: stats returned, memory delta already re-applied.
+    Hit(Box<KernelStats>),
+    /// Miss: simulate, then pass this token to [`memo_record`].
+    Miss(MemoPending),
+}
+
+/// Token carrying the key and pre-launch memory image across the simulation.
+pub(crate) struct MemoPending {
+    key: MemoKey,
+    pre: Vec<u32>,
+}
+
+fn memo_key(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    dims: LaunchDims,
+    params: &[Value],
+    pre: &[u32],
+    mem: &DeviceMemory,
+    mode: u8,
+) -> MemoKey {
+    let kernel_hash = hash128(|h| {
+        kernel.name.hash(h);
+        kernel.code.hash(h);
+        h.write_u32(kernel.regs_per_thread);
+        h.write_u32(kernel.smem_bytes);
+        h.write_u32(kernel.num_params as u32);
+    });
+    // GpuConfig is a plain struct of scalars with a derived Debug; hashing
+    // the debug rendering keys on every field without enumerating them here.
+    let config = {
+        let mut h = Mix64::new(0xa409_3822_299f_31d0);
+        format!("{cfg:?}").hash(&mut h);
+        h.finish()
+    };
+    let params_hash = {
+        let mut h = Mix64::new(0x082e_fa98_ec4e_6c89);
+        for v in params {
+            h.write_u32(v.0);
+        }
+        h.finish()
+    };
+    let input = hash128(|h| {
+        for &w in pre {
+            h.write_u32(w);
+        }
+        h.write_u64(0x5eed); // domain separator
+        for &w in &mem.const_bank {
+            h.write_u32(w);
+        }
+        match mem.tex_binding {
+            Some((base, len)) => {
+                h.write_u32(1);
+                h.write_u32(base);
+                h.write_u32(len);
+            }
+            None => h.write_u32(0),
+        }
+    });
+    MemoKey {
+        kernel: kernel_hash,
+        config,
+        grid: dims.grid,
+        block: dims.block,
+        params: params_hash,
+        input,
+        mode,
+    }
+}
+
+/// Encodes the active engine/executor/dedup toggles into the key's mode byte.
+fn current_mode() -> u8 {
+    let engine = crate::launch::engine() as u8;
+    let executor = crate::launch::executor() as u8;
+    let dedup = (dedup() == Dedup::Off) as u8;
+    engine | (executor << 1) | (dedup << 2)
+}
+
+/// Probes the memo cache for this launch. On a hit the recorded memory
+/// delta is applied to `mem` and the cached stats are returned; on a miss
+/// the returned token must be passed to [`memo_record`] after simulation.
+///
+/// `exclusive_mem` must be false when another launch in the same batch
+/// shares this [`DeviceMemory`] — concurrent writers would make the
+/// pre/post snapshot diff unsound, so such launches are not memoized.
+pub(crate) fn memo_lookup(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    dims: LaunchDims,
+    params: &[Value],
+    mem: &DeviceMemory,
+    exclusive_mem: bool,
+) -> MemoLookup {
+    if memo() == Memo::Off || !exclusive_mem {
+        return MemoLookup::Disabled;
+    }
+    let pre = mem.snapshot_words();
+    let key = memo_key(cfg, kernel, dims, params, &pre, mem, current_mode());
+    let mut cache = launch_cache().lock().unwrap();
+    cache.tick += 1;
+    let tick = cache.tick;
+    if let Some(entry) = cache.map.get_mut(&key) {
+        entry.last_used = tick;
+        let stats = entry.stats.clone();
+        // Replay the recorded memory effect while still holding the lock
+        // (the delta borrows the entry).
+        for &(idx, val) in &entry.delta {
+            mem.write(idx * 4, Value(val));
+        }
+        drop(cache);
+        HITS.fetch_add(1, Ordering::Relaxed);
+        MemoLookup::Hit(Box::new(stats))
+    } else {
+        drop(cache);
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        MemoLookup::Miss(MemoPending { key, pre })
+    }
+}
+
+/// Records a simulated launch: diffs the pre-launch snapshot against the
+/// current memory image and inserts the (stats, delta) pair, evicting the
+/// least-recently-used entry when the cache is full.
+pub(crate) fn memo_record(pending: MemoPending, mem: &DeviceMemory, stats: &KernelStats) {
+    let post = mem.snapshot_words();
+    debug_assert_eq!(pending.pre.len(), post.len());
+    let delta: Vec<(u32, u32)> = pending
+        .pre
+        .iter()
+        .zip(&post)
+        .enumerate()
+        .filter(|(_, (a, b))| a != b)
+        .map(|(i, (_, &b))| (i as u32, b))
+        .collect();
+    let cap = memo_capacity();
+    let mut cache = launch_cache().lock().unwrap();
+    cache.tick += 1;
+    let tick = cache.tick;
+    while cache.map.len() >= cap {
+        cache.evict_lru();
+    }
+    cache.map.insert(
+        pending.key,
+        MemoEntry {
+            stats: stats.clone(),
+            delta,
+            last_used: tick,
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g80_isa::builder::KernelBuilder;
+
+    fn k(name: &str) -> Kernel {
+        let mut b = KernelBuilder::new(name);
+        let p = b.param();
+        let tid = b.tid_x();
+        let byte = b.shl(tid, 2u32);
+        let a = b.iadd(byte, p);
+        let v = b.ld_global(a, 0);
+        let w = b.fmul(v, 2.0f32);
+        b.st_global(a, 0, w);
+        b.build()
+    }
+
+    #[test]
+    fn registry_shares_by_content_not_identity() {
+        let a = k("a");
+        let b = a.clone();
+        let ia = kernel_info(&a);
+        let ib = kernel_info(&b);
+        assert!(Arc::ptr_eq(&ia, &ib), "identical code must share an entry");
+        assert!(ia.dedup_eligible);
+        assert_eq!(ia.decoded.len(), a.code.len());
+    }
+
+    #[test]
+    fn registry_distinguishes_different_code() {
+        let a = k("a");
+        let mut bld = KernelBuilder::new("b");
+        let p = bld.param();
+        let tid = bld.tid_x();
+        let byte = bld.shl(tid, 2u32);
+        let addr = bld.iadd(byte, p);
+        bld.st_global(addr, 0, tid);
+        let b = bld.build();
+        assert!(!Arc::ptr_eq(&kernel_info(&a), &kernel_info(&b)));
+    }
+
+    #[test]
+    fn mix64_is_order_sensitive() {
+        let a = hash128(|h| {
+            h.write_u32(1);
+            h.write_u32(2);
+        });
+        let b = hash128(|h| {
+            h.write_u32(2);
+            h.write_u32(1);
+        });
+        assert_ne!(a, b);
+    }
+}

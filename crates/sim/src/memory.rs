@@ -95,6 +95,14 @@ impl DeviceMemory {
         }
     }
 
+    /// Copies the entire word array out (memo-cache snapshots and digests).
+    pub fn snapshot_words(&self) -> Vec<u32> {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Reads a constant-bank word at a byte address.
     #[inline]
     pub fn read_const(&self, addr: u32) -> Value {

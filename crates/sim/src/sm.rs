@@ -50,10 +50,13 @@ use crate::memory::{
     coalesce_half_warp_noalloc, smem_conflict_degree_noalloc, DeviceMemory, TagCache,
 };
 use crate::warp::{RegSource, Warp};
+use crate::witness::{half_sig, replay_block, Ev, WitnessRecorder, WriteBuf};
 use g80_isa::decode::{DecodedKernel, IssueClass, MicroOp};
 use g80_isa::exec;
 use g80_isa::inst::{Inst, InstClass, Operand, Space};
 use g80_isa::{Kernel, Value};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// Grid/block geometry of a launch.
 #[derive(Copy, Clone, Debug)]
@@ -128,7 +131,35 @@ struct Scratch {
     lines: Vec<u32>,
 }
 
-/// Simulates one SM over its assigned blocks. Deterministic.
+/// One observed block-refill boundary of the dedup period detector: the
+/// absolute progress at the instant the scheduler state had a given
+/// (relative) snapshot. A later recurrence of the snapshot yields the
+/// per-period deltas by subtraction.
+struct Boundary {
+    cycle: u64,
+    stats: SmStats,
+    class_counts: [u64; InstClass::COUNT],
+    consumed: usize,
+}
+
+/// Distinct boundary states tracked before giving up on period detection
+/// (a transient longer than this means the launch is not steady-state).
+const DEDUP_MAX_BOUNDARIES: usize = 64;
+
+/// Simulates one SM over its assigned blocks. Deterministic. With `dedup`
+/// set (only for witness-eligible kernels, see [`crate::memo::KernelInfo`]),
+/// steady-state periods of the block stream are fast-forwarded: timing by
+/// recurrence of the scheduler-state snapshot, functional effects by
+/// witness-verified replay. Aggregate stats are bit-identical either way.
+///
+/// When `witness_out` is provided and *every* block this SM executed was
+/// verified class-identical to the representative, the representative
+/// streams are moved into it. The SM's timing is a deterministic function of
+/// its inputs, and every timing-relevant quantity the scheduler consumes is
+/// captured by the event streams — so another SM whose equally-long block
+/// queue replays clean against the same streams would evolve identically,
+/// and may adopt this SM's stats outright (donor-SM reuse in
+/// [`crate::launch`]).
 pub fn run_sm(
     cfg: &GpuConfig,
     kernel: &Kernel,
@@ -138,15 +169,33 @@ pub fn run_sm(
     mem: &DeviceMemory,
     my_blocks: &[(u32, u32)],
     blocks_per_sm: u32,
+    dedup: bool,
+    shared_uniform: bool,
+    witness_out: Option<&mut Option<Vec<Vec<Ev>>>>,
 ) -> SmStats {
     let mut stats = SmStats::default();
-    let mut queue = my_blocks.iter().copied();
+    let mut next_block: usize = 0;
     let mut resident: Vec<Resident> = Vec::new();
     for _ in 0..blocks_per_sm {
-        if let Some(ctaid) = queue.next() {
+        if next_block < my_blocks.len() {
+            let ctaid = my_blocks[next_block];
+            next_block += 1;
             resident.push(Resident::new(kernel.regs_per_thread, kernel, dims, ctaid));
         }
     }
+    let wpb = dims.threads_per_block().div_ceil(32) as usize;
+    let file_regs = kernel
+        .regs_per_thread
+        .max(g80_isa::liveness::num_regs(&kernel.code) as u32);
+    // Dedup only pays off when the grid refills the resident set at least
+    // once; otherwise there is no steady state to detect.
+    let mut recorder = if dedup && my_blocks.len() > resident.len() {
+        Some(WitnessRecorder::new(resident.len(), wpb))
+    } else {
+        None
+    };
+    let mut boundaries: HashMap<Vec<u64>, Boundary> = HashMap::new();
+    let mut fast_blocks: u64 = 0;
 
     let mut cycle: u64 = 0;
     let mut chan_free: u64 = 0;
@@ -179,27 +228,164 @@ pub fn run_sm(
         if check_retire {
             check_retire = false;
             // Retire completed blocks, refill from the queue.
+            let mut refilled = false;
             let mut i = 0;
             while i < resident.len() {
                 if resident[i].all_done() {
                     stats.blocks_executed += 1;
-                    match queue.next() {
-                        Some(ctaid) => {
-                            resident[i].reset(ctaid);
-                            for s in order.iter_mut() {
-                                if s.bi == i {
-                                    s.cached = None;
-                                }
+                    if let Some(rec) = recorder.as_mut() {
+                        rec.on_retire(i);
+                    }
+                    if next_block < my_blocks.len() {
+                        let ctaid = my_blocks[next_block];
+                        next_block += 1;
+                        resident[i].reset(ctaid);
+                        for s in order.iter_mut() {
+                            if s.bi == i {
+                                s.cached = None;
                             }
-                            i += 1;
                         }
-                        None => {
-                            resident.remove(i);
-                            order_stale = true;
+                        refilled = true;
+                        i += 1;
+                    } else {
+                        // Grid tail: drop the slot's witness state so the
+                        // remaining slot indices realign (no fast-forward is
+                        // possible with an empty queue, but the per-block
+                        // verification must survive for donor-SM reuse).
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.on_remove(i);
                         }
+                        resident.remove(i);
+                        order_stale = true;
                     }
                 } else {
                     i += 1;
+                }
+            }
+
+            // Period detection + fast-forward, at block-refill boundaries.
+            if refilled && !order_stale {
+                if let Some(rec) = recorder.as_mut() {
+                    if rec.valid && rec.rep_done() && next_block < my_blocks.len() {
+                        debug_assert_eq!(order.len(), resident.len() * wpb);
+                        let snap =
+                            dedup_snapshot(&resident, &order, wpb, rr, cycle, chan_free, rec);
+                        let n_boundaries = boundaries.len();
+                        match boundaries.entry(snap) {
+                            Entry::Occupied(occ) => {
+                                let b = occ.get();
+                                let d_cycle = cycle - b.cycle;
+                                let d_consumed = next_block - b.consumed;
+                                if d_consumed > 0
+                                    && d_cycle > 0
+                                    && my_blocks.len() - next_block >= 2 * d_consumed
+                                {
+                                    // The skipped windows also involve the
+                                    // currently resident blocks: their full
+                                    // event streams must match the
+                                    // representative for the measured deltas
+                                    // to transfer to them.
+                                    let residents_ok = resident.iter().all(|r| {
+                                        let mut dry = WriteBuf::default();
+                                        replay_block(
+                                            cfg,
+                                            kernel,
+                                            decoded,
+                                            dims,
+                                            params,
+                                            mem,
+                                            r.warps[0].ctaid,
+                                            file_regs,
+                                            rec.rep(),
+                                            &mut dry,
+                                            shared_uniform,
+                                        )
+                                    });
+                                    if !residents_ok {
+                                        crate::memo::count_dedup_fallback();
+                                        rec.valid = false;
+                                    } else {
+                                        let d_stats = stats.delta_since(&b.stats);
+                                        let mut d_class = [0u64; InstClass::COUNT];
+                                        for (dc, (now, base)) in d_class
+                                            .iter_mut()
+                                            .zip(class_counts.iter().zip(b.class_counts.iter()))
+                                        {
+                                            *dc = now - base;
+                                        }
+                                        while my_blocks.len() - next_block >= 2 * d_consumed {
+                                            let mut buf = WriteBuf::default();
+                                            let ok = (0..d_consumed).all(|j| {
+                                                replay_block(
+                                                    cfg,
+                                                    kernel,
+                                                    decoded,
+                                                    dims,
+                                                    params,
+                                                    mem,
+                                                    my_blocks[next_block + j],
+                                                    file_regs,
+                                                    rec.rep(),
+                                                    &mut buf,
+                                                    shared_uniform,
+                                                )
+                                            });
+                                            if !ok {
+                                                // Nothing committed: fall back
+                                                // to full simulation from this
+                                                // exact state.
+                                                crate::memo::count_dedup_fallback();
+                                                rec.valid = false;
+                                                break;
+                                            }
+                                            buf.commit(mem);
+                                            next_block += d_consumed;
+                                            fast_blocks += d_consumed as u64;
+                                            stats.add_delta(&d_stats);
+                                            for (cc, dc) in
+                                                class_counts.iter_mut().zip(d_class.iter())
+                                            {
+                                                *cc += dc;
+                                            }
+                                            // Shift every absolute-cycle value
+                                            // uniformly; all scheduler
+                                            // comparisons are invariant under
+                                            // this.
+                                            cycle += d_cycle;
+                                            chan_free += d_cycle;
+                                            for r in resident.iter_mut() {
+                                                for w in r.warps.iter_mut() {
+                                                    for t in w.reg_ready.iter_mut() {
+                                                        *t += d_cycle;
+                                                    }
+                                                    w.resume_at += d_cycle;
+                                                }
+                                            }
+                                            for s in order.iter_mut() {
+                                                if let Some((t, _)) = s.cached.as_mut() {
+                                                    *t += d_cycle;
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            Entry::Vacant(v) => {
+                                if n_boundaries < DEDUP_MAX_BOUNDARIES {
+                                    v.insert(Boundary {
+                                        cycle,
+                                        stats: stats.clone(),
+                                        class_counts,
+                                        consumed: next_block,
+                                    });
+                                } else {
+                                    // Transient too long: stop paying the
+                                    // recording overhead.
+                                    rec.valid = false;
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -265,6 +451,8 @@ pub fn run_sm(
             if ready_at <= cycle {
                 let pc = warp.pc() as usize;
                 let mop = &decoded.ops[pc];
+                let pre_mask = warp.active_mask();
+                let record = recorder.as_ref().is_some_and(|r| r.valid);
                 let mut ctx = ExecCtx {
                     cfg,
                     kernel,
@@ -277,12 +465,21 @@ pub fn run_sm(
                     scratch: &mut scratch,
                     class_counts: &mut class_counts,
                     cycle,
+                    record,
+                    ev_aux: 0,
+                    ev_bytes: 0,
                 };
                 let dur = ctx.execute(block, wi, mop);
+                let (ev_aux, ev_bytes) = (ctx.ev_aux, ctx.ev_bytes);
                 cycle += dur;
                 rr = (rr + k + 1) % n;
                 issued = true;
                 order[idx].cached = None; // the warp advanced
+                if record {
+                    if let Some(rec) = recorder.as_mut() {
+                        rec.record(bi, wi, Ev::new(pc as u32, pre_mask, ev_aux, ev_bytes));
+                    }
+                }
 
                 // Barrier release: if every live warp of the block is now
                 // parked, free them all. This must be checked both when a
@@ -354,7 +551,84 @@ pub fn run_sm(
         }
     }
     stats.cycles = cycle;
+    if dedup {
+        crate::memo::count_dedup_fast_blocks(fast_blocks);
+        crate::memo::count_dedup_sim_blocks(my_blocks.len() as u64 - fast_blocks);
+    }
+    if let (Some(out), Some(rec)) = (witness_out, recorder.as_mut()) {
+        *out = rec.take_verified();
+    }
     stats
+}
+
+/// Maps a stall reason to a stable snapshot code.
+fn stall_code(r: StallReason) -> u64 {
+    match r {
+        StallReason::Memory => 1,
+        StallReason::AluDependency => 2,
+        StallReason::Barrier => 3,
+        StallReason::IssueBusy => 4,
+        StallReason::Drain => 5,
+    }
+}
+
+/// Serializes the scheduler's timing-relevant state *relative to the current
+/// cycle* at a block-refill boundary. Two boundaries with equal snapshots
+/// (plus witness-verified block streams) evolve identically, so the machine
+/// is periodic between them.
+///
+/// Values already in the past are canonicalized to 0 — the scheduler only
+/// ever compares them against `cycle`, never against each other on a path
+/// that matters: a warp whose `ready_at` is past issues regardless of the
+/// gate attribution, so the attribution is dropped for rel 0 entries.
+fn dedup_snapshot(
+    resident: &[Resident],
+    order: &[Slot],
+    wpb: usize,
+    rr: usize,
+    cycle: u64,
+    chan_free: u64,
+    rec: &WitnessRecorder,
+) -> Vec<u64> {
+    let mut s = Vec::with_capacity(4 + resident.len() * wpb * 8);
+    s.push(resident.len() as u64);
+    s.push(rr as u64);
+    s.push(chan_free.saturating_sub(cycle));
+    for (bi, r) in resident.iter().enumerate() {
+        for (wi, w) in r.warps.iter().enumerate() {
+            s.push(((w.done as u64) << 1) | w.at_barrier as u64);
+            s.push(w.resume_at.saturating_sub(cycle));
+            s.push(w.frames.len() as u64);
+            for f in &w.frames {
+                s.push(((f.pc as u64) << 32) | f.rpc as u64);
+                s.push(f.mask as u64);
+            }
+            for (ri, &t) in w.reg_ready.iter().enumerate() {
+                let rel = t.saturating_sub(cycle);
+                let src = if rel > 0 {
+                    matches!(w.reg_source[ri], RegSource::Memory) as u64
+                } else {
+                    0
+                };
+                s.push((rel << 1) | src);
+            }
+            // Witness cursor: the same pc at different loop iterations of
+            // the block must not alias.
+            s.push(rec.cursor(bi, wi) as u64);
+            s.push(match order[bi * wpb + wi].cached {
+                None => u64::MAX,
+                Some((t, reason)) => {
+                    let rel = t.saturating_sub(cycle);
+                    if rel == 0 {
+                        0
+                    } else {
+                        (rel << 3) | stall_code(reason)
+                    }
+                }
+            });
+        }
+    }
+    s
 }
 
 /// (earliest cycle at which the instruction's registers are ready, the
@@ -389,12 +663,18 @@ struct ExecCtx<'a> {
     scratch: &'a mut Scratch,
     class_counts: &'a mut [u64; InstClass::COUNT],
     cycle: u64,
+    /// Dedup witness recording active: the memory/branch paths below fill
+    /// `ev_aux`/`ev_bytes` with the instruction's timing signature, exactly
+    /// mirroring what [`crate::witness`]'s replay executor recomputes.
+    record: bool,
+    ev_aux: u32,
+    ev_bytes: u32,
 }
 
 /// Per-lane effective addresses of a memory instruction (the address
 /// operand is resolved once for the whole warp).
 #[inline]
-fn addr_row(warp: &Warp, addr_op: Operand, off: i32, params: &[Value]) -> [u32; 32] {
+pub(crate) fn addr_row(warp: &Warp, addr_op: Operand, off: i32, params: &[Value]) -> [u32; 32] {
     let row = warp.operand_row(addr_op, params);
     std::array::from_fn(|l| row[l].as_u32().wrapping_add(off as u32))
 }
@@ -402,7 +682,10 @@ fn addr_row(warp: &Warp, addr_op: Operand, off: i32, params: &[Value]) -> [u32; 
 /// Splits an address row into the two half-warp arrays the coalescing and
 /// bank-conflict models consume (active lanes only).
 #[inline]
-fn split_half_warps(addrs: &[u32; 32], mask: u32) -> ([Option<u32>; 16], [Option<u32>; 16]) {
+pub(crate) fn split_half_warps(
+    addrs: &[u32; 32],
+    mask: u32,
+) -> ([Option<u32>; 16], [Option<u32>; 16]) {
     let mut lo = [None; 16];
     let mut hi = [None; 16];
     for lane in 0..32 {
@@ -541,6 +824,7 @@ impl<'a> ExecCtx<'a> {
                 off,
                 src,
             } => {
+                debug_assert!(!self.record, "dedup witness on atomic");
                 let (warps, smem) = (&mut block.warps, &mut block.smem);
                 let warp = &mut warps[wi];
                 let addrs = addr_row(warp, addr, off, self.params);
@@ -597,6 +881,9 @@ impl<'a> ExecCtx<'a> {
                 match pred {
                     None => {
                         let m = warp.active_mask();
+                        if self.record {
+                            self.ev_aux = m;
+                        }
                         warp.take_branch(m, target.0, reconv.0, next_pc);
                     }
                     Some(p) => {
@@ -606,6 +893,9 @@ impl<'a> ExecCtx<'a> {
                             if mask >> lane & 1 == 1 && pv.as_bool() != p.negate {
                                 taken |= 1 << lane;
                             }
+                        }
+                        if self.record {
+                            self.ev_aux = taken;
                         }
                         if warp.take_branch(taken, target.0, reconv.0, next_pc) {
                             self.stats.divergent_branches += 1;
@@ -659,7 +949,7 @@ impl<'a> ExecCtx<'a> {
                 let addrs = addr_row(warp, addr, off, self.params);
                 let (lo, hi) = split_half_warps(&addrs, mask);
                 let mut bytes = 0u64;
-                for half in [&lo, &hi] {
+                for (i, half) in [&lo, &hi].into_iter().enumerate() {
                     let acc = coalesce_half_warp_noalloc(cfg, half);
                     if acc.transactions > 0 {
                         if acc.coalesced {
@@ -668,10 +958,16 @@ impl<'a> ExecCtx<'a> {
                             self.stats.uncoalesced_half_warps += 1;
                         }
                         self.stats.global_ld_transactions += acc.transactions as u64;
+                        if self.record {
+                            self.ev_aux |= half_sig(&acc) << (16 * i);
+                        }
                         bytes += acc.bytes;
                     }
                 }
                 self.stats.global_bytes += bytes;
+                if self.record {
+                    self.ev_bytes = bytes as u32;
+                }
                 for (lane, &a) in addrs.iter().enumerate() {
                     if mask >> lane & 1 == 1 {
                         let v = self.mem.read(a);
@@ -690,6 +986,9 @@ impl<'a> ExecCtx<'a> {
                     .max(smem_conflict_degree_noalloc(cfg, &hi));
                 let extra = cfg.issue_cycles * (degree as u64 - 1);
                 self.stats.smem_conflict_extra_cycles += extra;
+                if self.record {
+                    self.ev_aux = degree;
+                }
                 let dst_row = warp.reg_row_mut(dst);
                 for lane in 0..32 {
                     if mask >> lane & 1 == 1 {
@@ -709,6 +1008,7 @@ impl<'a> ExecCtx<'a> {
                 cfg.issue_cycles + extra
             }
             Space::Const => {
+                debug_assert!(!self.record, "dedup witness on constant-cache load");
                 // Distinct addresses within the warp serialize; each line
                 // goes through the per-SM constant cache. A broadcast (one
                 // address) is as fast as a register read. The distinct-set
@@ -751,6 +1051,7 @@ impl<'a> ExecCtx<'a> {
                 cfg.issue_cycles + ser
             }
             Space::Tex => {
+                debug_assert!(!self.record, "dedup witness on texture-cache load");
                 let addrs = addr_row(warp, addr, off, self.params);
                 let lines = &mut self.scratch.lines;
                 lines.clear();
@@ -799,6 +1100,9 @@ impl<'a> ExecCtx<'a> {
                 }
                 self.stats.global_bytes += bytes;
                 self.stats.global_ld_transactions += mask.count_ones() as u64;
+                if self.record {
+                    self.ev_bytes = bytes as u32;
+                }
                 let done = self.memory_request(bytes);
                 warp.reg_ready[dst as usize] = done;
                 warp.reg_source[dst as usize] = RegSource::Memory;
@@ -826,7 +1130,7 @@ impl<'a> ExecCtx<'a> {
                 let srcs = warp.operand_row(src, self.params);
                 let (lo, hi) = split_half_warps(&addrs, mask);
                 let mut bytes = 0u64;
-                for half in [&lo, &hi] {
+                for (i, half) in [&lo, &hi].into_iter().enumerate() {
                     let acc = coalesce_half_warp_noalloc(cfg, half);
                     if acc.transactions > 0 {
                         if acc.coalesced {
@@ -835,10 +1139,16 @@ impl<'a> ExecCtx<'a> {
                             self.stats.uncoalesced_half_warps += 1;
                         }
                         self.stats.global_st_transactions += acc.transactions as u64;
+                        if self.record {
+                            self.ev_aux |= half_sig(&acc) << (16 * i);
+                        }
                         bytes += acc.bytes;
                     }
                 }
                 self.stats.global_bytes += bytes;
+                if self.record {
+                    self.ev_bytes = bytes as u32;
+                }
                 for lane in 0..32 {
                     if mask >> lane & 1 == 1 {
                         self.mem.write(addrs[lane], srcs[lane]);
@@ -855,6 +1165,9 @@ impl<'a> ExecCtx<'a> {
                     .max(smem_conflict_degree_noalloc(cfg, &hi));
                 let extra = cfg.issue_cycles * (degree as u64 - 1);
                 self.stats.smem_conflict_extra_cycles += extra;
+                if self.record {
+                    self.ev_aux = degree;
+                }
                 for lane in 0..32 {
                     if mask >> lane & 1 == 1 {
                         let idx = (addrs[lane] / 4) as usize;
@@ -882,6 +1195,9 @@ impl<'a> ExecCtx<'a> {
                 }
                 self.stats.global_bytes += bytes;
                 self.stats.global_st_transactions += mask.count_ones() as u64;
+                if self.record {
+                    self.ev_bytes = bytes as u32;
+                }
                 let _ = self.memory_request(bytes);
                 cfg.issue_cycles
             }

@@ -1,0 +1,605 @@
+//! Block-class deduplication: determinism witnesses and the functional
+//! replay executor.
+//!
+//! The paper's workloads launch grids of *identical* blocks: every block of
+//! a tiled matmul runs the same instruction path with the same coalescing
+//! and bank-conflict behaviour, differing only in which tile it touches.
+//! Simulating each one through the full scheduler re-derives timing the SM
+//! has already computed. The dedup layer removes that redundancy while
+//! keeping the aggregate [`crate::KernelStats`] bit-identical:
+//!
+//! 1. **Witness streams** ([`Ev`], [`WitnessRecorder`]): while a dedup-
+//!    eligible launch runs, every issued warp instruction appends a compact
+//!    event — `(pc, active mask)` plus the timing-relevant signature of the
+//!    instruction (taken mask for branches, per-half-warp coalescing verdict
+//!    and byte count for global accesses, bank-conflict degree for shared
+//!    accesses). The first block to retire on the SM becomes the
+//!    *representative*; every other block is verified against the
+//!    representative's stream, online, as it issues. The simulator's timing
+//!    model reads addresses only through these signatures, so stream
+//!    equality implies timing equality.
+//! 2. **Period fast-forward** (in [`crate::sm::run_sm`]): once the SM's
+//!    scheduler state recurs at a block-refill boundary, the cycle/counter
+//!    delta of one period is known; remaining whole periods are applied
+//!    arithmetically. The consumed blocks still need their *functional*
+//!    effect: [`replay_block`] re-executes them barrier-phase by
+//!    barrier-phase — no scheduler, no scoreboard — while verifying every
+//!    event against the representative. Any mismatch aborts the period
+//!    before its buffered writes commit ([`WriteBuf`]), and the launch
+//!    falls back to full simulation from exactly the pre-replay state.
+
+use crate::config::GpuConfig;
+use crate::memory::{
+    coalesce_half_warp_noalloc, smem_conflict_degree_noalloc, DeviceMemory, HalfWarpAccess,
+};
+use crate::sm::{addr_row, split_half_warps, LaunchDims};
+use crate::warp::Warp;
+use g80_isa::decode::DecodedKernel;
+use g80_isa::exec;
+use g80_isa::inst::{Inst, Space};
+use g80_isa::{Kernel, Value};
+use std::collections::HashMap;
+
+/// One issued warp instruction's timing-relevant fingerprint.
+///
+/// `a` packs `(pc << 32) | active_mask`; `b` packs `(aux << 32) | bytes`
+/// where `aux` is the per-kind signature: taken mask for branches, the two
+/// half-warp coalescing verdicts for global accesses ([`half_sig`]), the
+/// bank-conflict degree for shared accesses, zero otherwise.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Ev {
+    pub a: u64,
+    pub b: u64,
+}
+
+impl Ev {
+    #[inline]
+    pub fn new(pc: u32, mask: u32, aux: u32, bytes: u32) -> Ev {
+        Ev {
+            a: ((pc as u64) << 32) | mask as u64,
+            b: ((aux as u64) << 32) | bytes as u64,
+        }
+    }
+}
+
+/// 16-bit signature of one half-warp global access: transaction count with
+/// the coalescing verdict in the top bit.
+#[inline]
+pub(crate) fn half_sig(acc: &HalfWarpAccess) -> u32 {
+    acc.transactions.min(0x7fff) | ((acc.coalesced as u32) << 15)
+}
+
+/// Per-SM witness state: the representative block's event streams plus the
+/// online verification cursors of every resident slot.
+///
+/// Lifecycle: until the slot-0 block retires, every slot buffers its own
+/// streams. At that retire the slot-0 streams freeze as the representative,
+/// the other slots' buffers are checked to be prefixes of it, and from then
+/// on verification is a cursor compare per issued instruction. Any mismatch
+/// — different path, different coalescing class, a sibling retiring first —
+/// permanently invalidates the recorder; the simulation itself is never
+/// perturbed, so invalidation *is* the automatic fallback.
+pub(crate) struct WitnessRecorder {
+    pub valid: bool,
+    rep_done: bool,
+    /// Representative streams, one per warp index.
+    rep: Vec<Vec<Ev>>,
+    /// Pre-representative buffers: `[slot][warp]`.
+    bufs: Vec<Vec<Vec<Ev>>>,
+    /// Post-representative verification cursors: `[slot][warp]`.
+    cursors: Vec<Vec<usize>>,
+}
+
+impl WitnessRecorder {
+    pub fn new(slots: usize, wpb: usize) -> Self {
+        WitnessRecorder {
+            valid: true,
+            rep_done: false,
+            rep: Vec::new(),
+            bufs: vec![vec![Vec::new(); wpb]; slots],
+            cursors: vec![vec![0; wpb]; slots],
+        }
+    }
+
+    pub fn rep_done(&self) -> bool {
+        self.rep_done
+    }
+
+    pub fn rep(&self) -> &[Vec<Ev>] {
+        &self.rep
+    }
+
+    /// Verification position of one warp (part of the scheduler-state
+    /// snapshot: the same pc at different loop iterations must not alias).
+    pub fn cursor(&self, slot: usize, warp: usize) -> usize {
+        self.cursors[slot][warp]
+    }
+
+    /// Records (or verifies) one issued instruction of `slot`/`warp`.
+    pub fn record(&mut self, slot: usize, warp: usize, ev: Ev) {
+        if !self.valid {
+            return;
+        }
+        if !self.rep_done {
+            self.bufs[slot][warp].push(ev);
+            return;
+        }
+        let cur = self.cursors[slot][warp];
+        if self.rep[warp].get(cur) == Some(&ev) {
+            self.cursors[slot][warp] = cur + 1;
+        } else {
+            self.valid = false;
+        }
+    }
+
+    /// Consumes the representative streams if every block retired so far was
+    /// verified class-identical (the donor-SM reuse evidence). Invalidates
+    /// the recorder, so call only when the SM is done.
+    pub fn take_verified(&mut self) -> Option<Vec<Vec<Ev>>> {
+        if self.valid && self.rep_done {
+            self.valid = false;
+            Some(std::mem::take(&mut self.rep))
+        } else {
+            None
+        }
+    }
+
+    /// Called when the grid tail permanently removes `slot` (after its final
+    /// [`Self::on_retire`]): drops the slot's verification state so the
+    /// remaining slot indices realign, keeping the recorder valid — every
+    /// block retired so far has still been individually verified.
+    pub fn on_remove(&mut self, slot: usize) {
+        if slot < self.bufs.len() {
+            self.bufs.remove(slot);
+        }
+        if slot < self.cursors.len() {
+            self.cursors.remove(slot);
+        }
+    }
+
+    /// Called when the block in `slot` retires, before the slot refills.
+    pub fn on_retire(&mut self, slot: usize) {
+        if !self.valid {
+            return;
+        }
+        if !self.rep_done {
+            if slot != 0 {
+                // A sibling finished before the representative: the blocks
+                // are not class-identical (or the tie is too fragile to
+                // reason about) — give up.
+                self.valid = false;
+                return;
+            }
+            self.rep = std::mem::take(&mut self.bufs[0]);
+            self.rep_done = true;
+            for s in 1..self.bufs.len() {
+                for (w, buf) in self.bufs[s].iter().enumerate() {
+                    if buf.len() > self.rep[w].len() || buf[..] != self.rep[w][..buf.len()] {
+                        self.valid = false;
+                        return;
+                    }
+                    self.cursors[s][w] = buf.len();
+                }
+            }
+            for slot_bufs in self.bufs.iter_mut().skip(1) {
+                for b in slot_bufs.iter_mut() {
+                    *b = Vec::new();
+                }
+            }
+            return;
+        }
+        // A verified block must have consumed its whole class stream.
+        for (w, rep) in self.rep.iter().enumerate() {
+            if self.cursors[slot][w] != rep.len() {
+                self.valid = false;
+                return;
+            }
+        }
+        for c in self.cursors[slot].iter_mut() {
+            *c = 0;
+        }
+    }
+}
+
+/// Buffered global-memory writes of one fast-forwarded period.
+///
+/// Replayed blocks write here instead of into [`DeviceMemory`]; reads check
+/// the buffer first (read-your-own-writes). Only a fully verified period
+/// commits — a failed replay drops the buffer, leaving memory untouched for
+/// the full-simulation fallback.
+pub(crate) struct WriteBuf {
+    log: Vec<(u32, Value)>,
+    map: HashMap<u32, Value>,
+    /// Inclusive word-index range covered by the writes so far. Loads from
+    /// input regions (disjoint from the output in every well-formed kernel)
+    /// skip the hash probe entirely — the common case by far.
+    lo: u32,
+    hi: u32,
+}
+
+impl Default for WriteBuf {
+    fn default() -> Self {
+        WriteBuf {
+            log: Vec::new(),
+            map: HashMap::new(),
+            lo: u32::MAX,
+            hi: 0,
+        }
+    }
+}
+
+impl WriteBuf {
+    #[inline]
+    fn read(&self, mem: &DeviceMemory, addr: u32) -> Value {
+        let w = addr / 4;
+        if w < self.lo || w > self.hi {
+            return mem.read(addr);
+        }
+        match self.map.get(&w) {
+            Some(&v) => v,
+            None => mem.read(addr),
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u32, v: Value) {
+        let w = addr / 4;
+        self.lo = self.lo.min(w);
+        self.hi = self.hi.max(w);
+        self.log.push((addr, v));
+        self.map.insert(w, v);
+    }
+
+    pub fn commit(self, mem: &DeviceMemory) {
+        for (a, v) in self.log {
+            mem.write(a, v);
+        }
+    }
+}
+
+/// Functionally re-executes one block against the representative streams.
+///
+/// Runs each warp to its next barrier (or exit), releases the barrier when
+/// every live warp is parked, and repeats — the ordering CUDA's consistency
+/// rules guarantee is equivalent to any legal schedule. Every instruction
+/// is checked against the representative's event at the warp's cursor;
+/// `false` means the block is not class-identical and nothing may commit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replay_block(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    decoded: &DecodedKernel,
+    dims: &LaunchDims,
+    params: &[Value],
+    mem: &DeviceMemory,
+    ctaid: (u32, u32),
+    file_regs: u32,
+    rep: &[Vec<Ev>],
+    buf: &mut WriteBuf,
+    shared_uniform: bool,
+) -> bool {
+    let wpb = dims.threads_per_block().div_ceil(32);
+    if rep.len() != wpb as usize {
+        return false;
+    }
+    let mut warps: Vec<Warp> = (0..wpb)
+        .map(|w| Warp::new(w, file_regs, dims.block, ctaid, dims.grid))
+        .collect();
+    let mut smem = vec![Value::ZERO; (kernel.smem_bytes as usize).div_ceil(4)];
+    let mut cursors = vec![0usize; wpb as usize];
+
+    loop {
+        for (wi, warp) in warps.iter_mut().enumerate() {
+            while warp.settle() && !warp.at_barrier {
+                if !step(
+                    cfg,
+                    decoded,
+                    params,
+                    mem,
+                    &mut smem,
+                    warp,
+                    &rep[wi],
+                    &mut cursors[wi],
+                    buf,
+                    shared_uniform,
+                ) {
+                    return false;
+                }
+            }
+        }
+        if warps.iter().all(|w| w.done) {
+            break;
+        }
+        if warps.iter().any(|w| w.at_barrier) && warps.iter().all(|w| w.done || w.at_barrier) {
+            for w in warps.iter_mut() {
+                w.at_barrier = false;
+            }
+        } else {
+            return false; // defensive: no progress possible
+        }
+    }
+    cursors.iter().zip(rep).all(|(&c, r)| c == r.len())
+}
+
+/// Executes one instruction of `warp`, verifying it against `rep[*cursor]`.
+///
+/// With `shared_uniform` (shared addresses statically `ctaid`-free, see
+/// [`g80_isa::dataflow::TaintSummary::ctaid_shared_addr`]) the bank-conflict
+/// degree of a shared access is known to equal the representative's without
+/// recomputing it — the dominant cost of replaying tiled kernels.
+#[allow(clippy::too_many_arguments)]
+fn step(
+    cfg: &GpuConfig,
+    decoded: &DecodedKernel,
+    params: &[Value],
+    mem: &DeviceMemory,
+    smem: &mut [Value],
+    warp: &mut Warp,
+    rep: &[Ev],
+    cursor: &mut usize,
+    buf: &mut WriteBuf,
+    shared_uniform: bool,
+) -> bool {
+    let pc = warp.pc() as usize;
+    let inst = decoded.ops[pc].inst;
+    let mask = warp.active_mask();
+    let expect = match rep.get(*cursor) {
+        Some(&e) => e,
+        None => return false,
+    };
+    if expect.a != (((pc as u64) << 32) | mask as u64) {
+        return false;
+    }
+    let smem_len = smem.len();
+    let mut aux = 0u32;
+    let mut bytes = 0u32;
+    // Cleared when the signature is statically proven equal to the
+    // representative's instead of being recomputed.
+    let mut verify_b = true;
+    match inst {
+        Inst::Alu { op, dst, a, b } => {
+            let ar = warp.operand_row(a, params);
+            let br = warp.operand_row(b, params);
+            exec::eval_alu_row(op, &ar, &br, warp.reg_row_mut(dst.0), mask);
+            warp.advance();
+        }
+        Inst::Ffma { dst, a, b, c } => {
+            let ar = warp.operand_row(a, params);
+            let br = warp.operand_row(b, params);
+            let cr = warp.operand_row(c, params);
+            exec::eval_ffma_row(&ar, &br, &cr, warp.reg_row_mut(dst.0), mask);
+            warp.advance();
+        }
+        Inst::Imad { dst, a, b, c } => {
+            let ar = warp.operand_row(a, params);
+            let br = warp.operand_row(b, params);
+            let cr = warp.operand_row(c, params);
+            exec::eval_imad_row(&ar, &br, &cr, warp.reg_row_mut(dst.0), mask);
+            warp.advance();
+        }
+        Inst::Un { op, dst, a } => {
+            let ar = warp.operand_row(a, params);
+            exec::eval_un_row(op, &ar, warp.reg_row_mut(dst.0), mask);
+            warp.advance();
+        }
+        Inst::Sfu { op, dst, a } => {
+            let ar = warp.operand_row(a, params);
+            exec::eval_sfu_row(op, &ar, warp.reg_row_mut(dst.0), mask);
+            warp.advance();
+        }
+        Inst::SetP { op, ty, dst, a, b } => {
+            let ar = warp.operand_row(a, params);
+            let br = warp.operand_row(b, params);
+            exec::eval_cmp_row(op, ty, &ar, &br, warp.reg_row_mut(dst.0), mask);
+            warp.advance();
+        }
+        Inst::Sel { dst, c, a, b } => {
+            let cr = warp.operand_row(c, params);
+            let ar = warp.operand_row(a, params);
+            let br = warp.operand_row(b, params);
+            exec::eval_sel_row(&cr, &ar, &br, warp.reg_row_mut(dst.0), mask);
+            warp.advance();
+        }
+        Inst::Ld {
+            space,
+            dst,
+            addr,
+            off,
+        } => match space {
+            Space::Global => {
+                let addrs = addr_row(warp, addr, off, params);
+                let (lo, hi) = split_half_warps(&addrs, mask);
+                let mut total = 0u64;
+                for (i, half) in [&lo, &hi].into_iter().enumerate() {
+                    let acc = coalesce_half_warp_noalloc(cfg, half);
+                    if acc.transactions > 0 {
+                        aux |= half_sig(&acc) << (16 * i);
+                        total += acc.bytes;
+                    }
+                }
+                bytes = total as u32;
+                for (lane, &a) in addrs.iter().enumerate() {
+                    if mask >> lane & 1 == 1 {
+                        let v = buf.read(mem, a);
+                        warp.set_reg(dst.0, lane, v);
+                    }
+                }
+                warp.advance();
+            }
+            Space::Shared => {
+                let addrs = addr_row(warp, addr, off, params);
+                if shared_uniform {
+                    verify_b = false;
+                } else {
+                    let (lo, hi) = split_half_warps(&addrs, mask);
+                    aux = smem_conflict_degree_noalloc(cfg, &lo)
+                        .max(smem_conflict_degree_noalloc(cfg, &hi));
+                }
+                for (lane, &a) in addrs.iter().enumerate() {
+                    if mask >> lane & 1 == 1 {
+                        let idx = (a / 4) as usize;
+                        if idx >= smem_len {
+                            return false;
+                        }
+                        let v = smem[idx];
+                        warp.set_reg(dst.0, lane, v);
+                    }
+                }
+                warp.advance();
+            }
+            Space::Local => {
+                let addrs = addr_row(warp, addr, off, params);
+                for (lane, &a) in addrs.iter().enumerate() {
+                    if mask >> lane & 1 == 1 {
+                        let v = warp.local_read(lane, a);
+                        warp.set_reg(dst.0, lane, v);
+                        bytes += cfg.uncoalesced_txn_bytes;
+                    }
+                }
+                warp.advance();
+            }
+            // Eligibility excludes cached spaces (per-SM cache state couples
+            // blocks); reaching here means the class is not replayable.
+            Space::Const | Space::Tex => return false,
+        },
+        Inst::St {
+            space,
+            addr,
+            off,
+            src,
+        } => match space {
+            Space::Global => {
+                let addrs = addr_row(warp, addr, off, params);
+                let srcs = warp.operand_row(src, params);
+                let (lo, hi) = split_half_warps(&addrs, mask);
+                let mut total = 0u64;
+                for (i, half) in [&lo, &hi].into_iter().enumerate() {
+                    let acc = coalesce_half_warp_noalloc(cfg, half);
+                    if acc.transactions > 0 {
+                        aux |= half_sig(&acc) << (16 * i);
+                        total += acc.bytes;
+                    }
+                }
+                bytes = total as u32;
+                for lane in 0..32 {
+                    if mask >> lane & 1 == 1 {
+                        buf.write(addrs[lane], srcs[lane]);
+                    }
+                }
+                warp.advance();
+            }
+            Space::Shared => {
+                let addrs = addr_row(warp, addr, off, params);
+                let srcs = warp.operand_row(src, params);
+                if shared_uniform {
+                    verify_b = false;
+                } else {
+                    let (lo, hi) = split_half_warps(&addrs, mask);
+                    aux = smem_conflict_degree_noalloc(cfg, &lo)
+                        .max(smem_conflict_degree_noalloc(cfg, &hi));
+                }
+                for lane in 0..32 {
+                    if mask >> lane & 1 == 1 {
+                        let idx = (addrs[lane] / 4) as usize;
+                        if idx >= smem_len {
+                            return false;
+                        }
+                        smem[idx] = srcs[lane];
+                    }
+                }
+                warp.advance();
+            }
+            Space::Local => {
+                let addrs = addr_row(warp, addr, off, params);
+                let srcs = warp.operand_row(src, params);
+                for lane in 0..32 {
+                    if mask >> lane & 1 == 1 {
+                        warp.local_write(lane, addrs[lane], srcs[lane]);
+                        bytes += cfg.uncoalesced_txn_bytes;
+                    }
+                }
+                warp.advance();
+            }
+            Space::Const | Space::Tex => return false,
+        },
+        // Atomics are excluded by eligibility (inter-block coupling).
+        Inst::Atom { .. } => return false,
+        Inst::Bra {
+            target,
+            reconv,
+            pred,
+        } => {
+            let next_pc = pc as u32 + 1;
+            let taken = match pred {
+                None => mask,
+                Some(p) => {
+                    let preds = warp.reg_row(p.reg.0);
+                    let mut t = 0u32;
+                    for (lane, pv) in preds.iter().enumerate() {
+                        if mask >> lane & 1 == 1 && pv.as_bool() != p.negate {
+                            t |= 1 << lane;
+                        }
+                    }
+                    t
+                }
+            };
+            aux = taken;
+            warp.take_branch(taken, target.0, reconv.0, next_pc);
+        }
+        Inst::Bar => {
+            if warp.frames.len() != 1 {
+                return false;
+            }
+            warp.advance();
+            warp.at_barrier = true;
+        }
+        Inst::Exit => {
+            warp.exit_lanes(mask);
+        }
+    }
+    if verify_b && expect.b != (((aux as u64) << 32) | bytes as u64) {
+        return false;
+    }
+    *cursor += 1;
+    true
+}
+
+/// Functionally replays a whole SM's block queue against a *donor* SM's
+/// verified representative streams (donor-SM timing reuse, see
+/// [`crate::sm::run_sm`]). All writes are buffered; only if every block
+/// verifies class-identical do they commit. Returns `false` with memory
+/// untouched otherwise, so the caller can fall back to full simulation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replay_sm(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    decoded: &DecodedKernel,
+    dims: &LaunchDims,
+    params: &[Value],
+    mem: &DeviceMemory,
+    my_blocks: &[(u32, u32)],
+    file_regs: u32,
+    rep: &[Vec<Ev>],
+    shared_uniform: bool,
+) -> bool {
+    let mut buf = WriteBuf::default();
+    for &ctaid in my_blocks {
+        if !replay_block(
+            cfg,
+            kernel,
+            decoded,
+            dims,
+            params,
+            mem,
+            ctaid,
+            file_regs,
+            rep,
+            &mut buf,
+            shared_uniform,
+        ) {
+            return false;
+        }
+    }
+    buf.commit(mem);
+    true
+}

@@ -23,7 +23,10 @@ use g80::apps::rc5::Rc5;
 use g80::apps::sad::SadApp;
 use g80::apps::saxpy::Saxpy;
 use g80::apps::tpacf::Tpacf;
-use g80::sim::{set_engine, set_executor, Engine, Executor, KernelStats};
+use g80::sim::{
+    clear_memo_cache, set_dedup, set_engine, set_executor, set_memo, Dedup, Engine, Executor,
+    KernelStats, Memo,
+};
 
 /// Asserts the named fields equal between the two runs.
 macro_rules! assert_fields_eq {
@@ -73,9 +76,15 @@ fn assert_stats_identical(label: &str, a: &KernelStats, b: &KernelStats) {
     );
 }
 
-/// Runs the workload on both engines and both executors and compares the
-/// stats across every axis.
+/// Runs the workload on both engines, both executors, with and without
+/// block-class dedup, and cold/warm through the launch memo cache — the
+/// stats must be bit-identical across every axis.
 fn check(label: &str, mut run: impl FnMut() -> KernelStats) {
+    // Equivalence axes must each be isolated: engine/executor runs compare
+    // real simulations, not cache replays.
+    set_memo(Memo::Off);
+    set_dedup(Dedup::Off);
+
     set_engine(Engine::Reference);
     let reference = run();
     set_engine(Engine::Predecoded);
@@ -88,6 +97,24 @@ fn check(label: &str, mut run: impl FnMut() -> KernelStats) {
     set_executor(Executor::Pooled);
     let pooled = run();
     assert_stats_identical(&format!("{label} [executor]"), &spawned, &pooled);
+
+    // Dedup axis: block-class dedup (and donor-SM reuse) engages only where
+    // the witness machinery proves equivalence, so on *every* workload the
+    // stats must be bit-identical to the plain run.
+    set_dedup(Dedup::On);
+    let deduped = run();
+    assert_stats_identical(&format!("{label} [dedup]"), &pooled, &deduped);
+
+    // Memo axis: a cold run records, a warm run replays from the cache —
+    // both must match the uncached stats bit for bit.
+    set_memo(Memo::On);
+    clear_memo_cache();
+    let cold = run();
+    assert_stats_identical(&format!("{label} [memo cold]"), &deduped, &cold);
+    let warm = run();
+    assert_stats_identical(&format!("{label} [memo warm]"), &cold, &warm);
+    set_memo(Memo::Off);
+    set_dedup(Dedup::Off);
 }
 
 #[test]
@@ -171,4 +198,6 @@ fn stats_bit_identical_across_engines() {
     check("sad", || sad.run(&cur, &reff, true).1);
 
     set_engine(Engine::Predecoded);
+    set_memo(Memo::On);
+    set_dedup(Dedup::On);
 }

@@ -1,0 +1,200 @@
+//! Launch memoization: a warm launch must return bit-identical
+//! [`KernelStats`] *and* reproduce the kernel's memory effects without
+//! simulating, the cache must respect its capacity bound, honor the
+//! `G80_SIM_MEMO` off switch, and serve hits across threads.
+//!
+//! The memo/dedup selectors are process-global, so everything runs inside
+//! one `#[test]` (parallel test threads would race the toggles).
+
+use g80::isa::builder::KernelBuilder;
+use g80::isa::{Kernel, Value};
+use g80::sim::{
+    clear_memo_cache, launch, memo_counters, reset_memo_counters, set_dedup, set_memo,
+    set_memo_capacity, Dedup, DeviceMemory, GpuConfig, KernelStats, LaunchDims, Memo,
+};
+
+const N: u32 = 4096;
+const TPB: u32 = 128;
+
+/// `y[i] = x[i] * mult` — the immediate lands in the instruction stream, so
+/// each multiplier is a distinct kernel *content* (distinct memo identity).
+fn scale_kernel(mult: u32) -> Kernel {
+    let mut b = KernelBuilder::new("scale");
+    let xs = b.param();
+    let ys = b.param();
+    let tid = b.tid_x();
+    let ntid = b.ntid_x();
+    let cta = b.ctaid_x();
+    let i = b.imad(cta, ntid, tid);
+    let byte = b.shl(i, 2u32);
+    let xa = b.iadd(byte, xs);
+    let v = b.ld_global(xa, 0);
+    let w = b.imul(v, mult);
+    let ya = b.iadd(byte, ys);
+    b.st_global(ya, 0, w);
+    b.build()
+}
+
+fn fresh_input() -> DeviceMemory {
+    let mem = DeviceMemory::new(2 * N * 4);
+    for i in 0..N {
+        mem.write(i * 4, Value::from_u32(i.wrapping_mul(2654435761)));
+    }
+    mem
+}
+
+fn run(cfg: &GpuConfig, k: &Kernel, mem: &DeviceMemory) -> KernelStats {
+    launch(
+        cfg,
+        k,
+        LaunchDims {
+            grid: (N / TPB, 1),
+            block: (TPB, 1, 1),
+        },
+        &[Value::from_u32(0), Value::from_u32(N * 4)],
+        mem,
+    )
+    .expect("launch")
+}
+
+fn output_words(mem: &DeviceMemory) -> Vec<u32> {
+    (0..N).map(|i| mem.read((N + i) * 4).as_u32()).collect()
+}
+
+macro_rules! assert_fields_eq {
+    ($label:expr, $a:expr, $b:expr, [$($f:ident),+ $(,)?]) => {
+        $(assert_eq!(
+            $a.$f, $b.$f,
+            "{}: KernelStats field `{}` differs between cold and warm launches",
+            $label, stringify!($f)
+        );)+
+    };
+}
+
+fn assert_stats_identical(label: &str, a: &KernelStats, b: &KernelStats) {
+    assert_fields_eq!(
+        label,
+        a,
+        b,
+        [
+            name,
+            cycles,
+            elapsed,
+            warp_instructions,
+            thread_instructions,
+            flops,
+            by_class,
+            global_ld_transactions,
+            global_st_transactions,
+            global_bytes,
+            coalesced_half_warps,
+            uncoalesced_half_warps,
+            smem_conflict_extra_cycles,
+            divergent_branches,
+            tex_hits,
+            tex_misses,
+            const_hits,
+            const_misses,
+            atomic_transactions,
+            stall_cycles,
+            blocks_executed,
+            regs_per_thread,
+            smem_per_block,
+            threads_per_block,
+            blocks_per_sm,
+            max_simultaneous_threads,
+            total_threads,
+        ]
+    );
+}
+
+#[test]
+fn memo_hits_evictions_and_threads() {
+    set_dedup(Dedup::Off); // isolate the memo axis
+    set_memo(Memo::On);
+    set_memo_capacity(128);
+    clear_memo_cache();
+    reset_memo_counters();
+    let cfg = GpuConfig::geforce_8800_gtx();
+
+    // ---- cold miss, then warm hit: stats and memory effects identical ----
+    let k3 = scale_kernel(3);
+    let m1 = fresh_input();
+    let cold = run(&cfg, &k3, &m1);
+    let c = memo_counters();
+    assert_eq!((c.hits, c.misses), (0, 1), "{c:?}");
+    let m2 = fresh_input();
+    let warm = run(&cfg, &k3, &m2);
+    let c = memo_counters();
+    assert_eq!((c.hits, c.misses), (1, 1), "{c:?}");
+    assert_stats_identical("warm hit", &cold, &warm);
+    assert_eq!(
+        output_words(&m1),
+        output_words(&m2),
+        "a memo hit must replay the recorded memory delta"
+    );
+    assert_eq!(
+        m2.read((N + 5) * 4).as_u32(),
+        5u32.wrapping_mul(2654435761).wrapping_mul(3)
+    );
+
+    // ---- memo off: the cache is bypassed entirely ----
+    set_memo(Memo::Off);
+    reset_memo_counters();
+    let off = run(&cfg, &k3, &fresh_input());
+    let c = memo_counters();
+    assert_eq!(
+        (c.hits, c.misses),
+        (0, 0),
+        "memo off must not touch the cache: {c:?}"
+    );
+    assert_stats_identical("memo off", &cold, &off);
+    set_memo(Memo::On);
+
+    // ---- capacity 1: the second distinct launch evicts the first ----
+    set_memo_capacity(1);
+    clear_memo_cache();
+    reset_memo_counters();
+    let k5 = scale_kernel(5);
+    run(&cfg, &k3, &fresh_input()); // miss, cached
+    run(&cfg, &k5, &fresh_input()); // miss, evicts k3
+    run(&cfg, &k3, &fresh_input()); // miss again (was evicted), evicts k5
+    run(&cfg, &k3, &fresh_input()); // hit
+    let c = memo_counters();
+    assert_eq!((c.hits, c.misses), (1, 3), "capacity-1 eviction: {c:?}");
+
+    // ---- cross-thread hits: one warm entry serves 8 threads ----
+    set_memo_capacity(128);
+    clear_memo_cache();
+    reset_memo_counters();
+    let k7 = scale_kernel(7);
+    let seed = fresh_input();
+    let base = run(&cfg, &k7, &seed); // cold, records
+    let expected = output_words(&seed);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mem = fresh_input();
+                    let stats = run(&cfg, &k7, &mem);
+                    (stats, output_words(&mem))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (stats, out) = h.join().expect("memo thread panicked");
+            assert_stats_identical("cross-thread", &base, &stats);
+            assert_eq!(out, expected);
+        }
+    });
+    let c = memo_counters();
+    assert_eq!(
+        (c.hits, c.misses),
+        (8, 1),
+        "all threads must hit the warm entry: {c:?}"
+    );
+    assert!((c.hit_rate() - 8.0 / 9.0).abs() < 1e-9, "{c:?}");
+
+    set_memo(Memo::On);
+    set_dedup(Dedup::On);
+}

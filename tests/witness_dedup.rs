@@ -1,0 +1,298 @@
+//! Block-class deduplication: dedup-on must be a pure host-side
+//! optimization. For an eligible kernel the fast-forwarded launch must
+//! produce [`KernelStats`] and output memory bit-identical to the full
+//! simulation; kernels whose timing depends on data must never engage the
+//! witness machinery at all.
+//!
+//! The dedup/memo selectors are process-global, so everything runs inside
+//! one `#[test]` (parallel test threads would race the toggles).
+
+use g80::isa::builder::KernelBuilder;
+use g80::isa::{CmpOp, Kernel, Pred, Scalar, Value};
+use g80::sim::{
+    launch, memo_counters, reset_memo_counters, set_dedup, set_engine, set_executor, set_memo,
+    Dedup, DeviceMemory, Engine, Executor, GpuConfig, KernelStats, LaunchDims, Memo,
+};
+
+macro_rules! assert_fields_eq {
+    ($label:expr, $a:expr, $b:expr, [$($f:ident),+ $(,)?]) => {
+        $(assert_eq!(
+            $a.$f, $b.$f,
+            "{}: KernelStats field `{}` differs between dedup modes",
+            $label, stringify!($f)
+        );)+
+    };
+}
+
+fn assert_stats_identical(label: &str, a: &KernelStats, b: &KernelStats) {
+    assert_fields_eq!(
+        label,
+        a,
+        b,
+        [
+            name,
+            cycles,
+            elapsed,
+            warp_instructions,
+            thread_instructions,
+            flops,
+            by_class,
+            global_ld_transactions,
+            global_st_transactions,
+            global_bytes,
+            coalesced_half_warps,
+            uncoalesced_half_warps,
+            smem_conflict_extra_cycles,
+            divergent_branches,
+            tex_hits,
+            tex_misses,
+            const_hits,
+            const_misses,
+            atomic_transactions,
+            stall_cycles,
+            blocks_executed,
+            regs_per_thread,
+            smem_per_block,
+            threads_per_block,
+            blocks_per_sm,
+            max_simultaneous_threads,
+            total_threads,
+        ]
+    );
+}
+
+/// Large enough that the scheduler reaches a periodic steady state: the
+/// DRAM-channel stagger takes several block generations to settle, and only
+/// then can a refill-boundary snapshot recur.
+const BLOCKS: u32 = 2048;
+/// Small grid for the cases that must *not* fast-forward (eligibility and
+/// witness-mismatch gates fire within the first generation).
+const SMALL_BLOCKS: u32 = 512;
+const TPB: u32 = 64;
+const N: u32 = BLOCKS * TPB;
+const SMALL_N: u32 = SMALL_BLOCKS * TPB;
+
+/// Streaming `y[i] = x[i] + x[i]`: every block issues the identical
+/// instruction/coalescing pattern, the ideal dedup target.
+fn streaming_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("stream_double");
+    let xs = b.param();
+    let ys = b.param();
+    let tid = b.tid_x();
+    let ntid = b.ntid_x();
+    let cta = b.ctaid_x();
+    let i = b.imad(cta, ntid, tid);
+    let byte = b.shl(i, 2u32);
+    let xa = b.iadd(byte, xs);
+    let v = b.ld_global(xa, 0);
+    let d = b.fadd(v, v);
+    let ya = b.iadd(byte, ys);
+    b.st_global(ya, 0, d);
+    b.build()
+}
+
+/// Gather `y[i] = src[idx[i]]`: the second load's address comes from
+/// memory, so timing is data-dependent and dedup must stay out.
+fn gather_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("gather");
+    let idx = b.param();
+    let src = b.param();
+    let dst = b.param();
+    let tid = b.tid_x();
+    let ntid = b.ntid_x();
+    let cta = b.ctaid_x();
+    let i = b.imad(cta, ntid, tid);
+    let byte = b.shl(i, 2u32);
+    let ia = b.iadd(byte, idx);
+    let j = b.ld_global(ia, 0);
+    let jbyte = b.shl(j, 2u32);
+    let sa = b.iadd(jbyte, src);
+    let v = b.ld_global(sa, 0);
+    let da = b.iadd(byte, dst);
+    b.st_global(da, 0, v);
+    b.build()
+}
+
+/// Eligible by taint (the branch predicate is pure ctaid), but odd and even
+/// blocks execute different paths. Round-robin assignment gives every SM a
+/// single parity, so donor-SM reuse legitimately fast-forwards the SMs that
+/// match the donor's class while the others must be *detected* as
+/// mismatching and fall back to full simulation — still bit-identical.
+fn block_parity_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("block_parity");
+    let out = b.param();
+    let tid = b.tid_x();
+    let ntid = b.ntid_x();
+    let cta = b.ctaid_x();
+    let i = b.imad(cta, ntid, tid);
+    let byte = b.shl(i, 2u32);
+    let addr = b.iadd(byte, out);
+    let bit = b.and(cta, 1u32);
+    let odd = b.setp(CmpOp::Ne, Scalar::U32, bit, 0u32);
+    let acc = b.mov(i);
+    b.if_(Pred::if_true(odd), |b| {
+        let extra = b.imul(acc, 3u32);
+        let extra = b.iadd(extra, 7u32);
+        b.st_global(addr, 0, extra);
+    });
+    b.if_(Pred::if_false(odd), |b| {
+        b.st_global(addr, 0, acc);
+    });
+    b.build()
+}
+
+/// Diverges on `(ctaid >> 4) & 1`: with 16 SMs the parity alternates
+/// between *resident slots of the same SM*, so sibling witnesses mismatch at
+/// representative promotion, the recorder invalidates itself, and no block
+/// anywhere may fast-forward — full simulation, still bit-identical.
+fn gen_parity_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("gen_parity");
+    let out = b.param();
+    let tid = b.tid_x();
+    let ntid = b.ntid_x();
+    let cta = b.ctaid_x();
+    let i = b.imad(cta, ntid, tid);
+    let byte = b.shl(i, 2u32);
+    let addr = b.iadd(byte, out);
+    let gen = b.shr(cta, 4u32);
+    let bit = b.and(gen, 1u32);
+    let odd = b.setp(CmpOp::Ne, Scalar::U32, bit, 0u32);
+    let acc = b.mov(i);
+    b.if_(Pred::if_true(odd), |b| {
+        let extra = b.imul(acc, 3u32);
+        let extra = b.iadd(extra, 7u32);
+        b.st_global(addr, 0, extra);
+    });
+    b.if_(Pred::if_false(odd), |b| {
+        b.st_global(addr, 0, acc);
+    });
+    b.build()
+}
+
+fn dims(blocks: u32) -> LaunchDims {
+    LaunchDims {
+        grid: (blocks, 1),
+        block: (TPB, 1, 1),
+    }
+}
+
+#[test]
+fn dedup_bit_identical_and_gated() {
+    // Isolate the axis under test: no memo cache, default engine/executor.
+    set_memo(Memo::Off);
+    set_engine(Engine::Predecoded);
+    set_executor(Executor::Pooled);
+    let cfg = GpuConfig::geforce_8800_gtx();
+
+    // ---- eligible kernel: dedup engages and is bit-identical ----
+    let k = streaming_kernel();
+    let run = |d: Dedup| {
+        set_dedup(d);
+        let mem = DeviceMemory::new(2 * N * 4);
+        for i in 0..N {
+            mem.write(i * 4, Value::from_f32(i as f32 * 0.5));
+        }
+        let stats = launch(
+            &cfg,
+            &k,
+            dims(BLOCKS),
+            &[Value::from_u32(0), Value::from_u32(N * 4)],
+            &mem,
+        )
+        .expect("streaming launch");
+        let out: Vec<u32> = (0..N).map(|i| mem.read((N + i) * 4).as_u32()).collect();
+        (stats, out)
+    };
+    let (off_stats, off_out) = run(Dedup::Off);
+    reset_memo_counters();
+    let (on_stats, on_out) = run(Dedup::On);
+    let c = memo_counters();
+    assert!(
+        c.dedup_fast_blocks > 0,
+        "dedup never fast-forwarded a block on the ideal workload: {c:?}"
+    );
+    assert_eq!(
+        c.dedup_fast_blocks + c.dedup_sim_blocks,
+        BLOCKS as u64,
+        "every block must be either fast-forwarded or simulated: {c:?}"
+    );
+    assert_eq!(c.dedup_fallbacks, 0, "uniform workload must not fall back");
+    assert_stats_identical("stream_double", &off_stats, &on_stats);
+    assert_eq!(off_out, on_out, "dedup changed output memory");
+    assert_eq!(on_out[5], Value::from_f32(5.0 * 0.5 * 2.0).0);
+
+    // ---- data-dependent kernel: witness machinery never engages ----
+    let g = gather_kernel();
+    set_dedup(Dedup::On);
+    reset_memo_counters();
+    let mem = DeviceMemory::new(3 * SMALL_N * 4);
+    for i in 0..SMALL_N {
+        mem.write(i * 4, Value::from_u32((i * 7 + 3) % SMALL_N)); // idx
+        mem.write((SMALL_N + i) * 4, Value::from_u32(i ^ 0xabcd)); // src
+    }
+    let stats = launch(
+        &cfg,
+        &g,
+        dims(SMALL_BLOCKS),
+        &[
+            Value::from_u32(0),
+            Value::from_u32(SMALL_N * 4),
+            Value::from_u32(2 * SMALL_N * 4),
+        ],
+        &mem,
+    )
+    .expect("gather launch");
+    let c = memo_counters();
+    assert_eq!(
+        (c.dedup_fast_blocks, c.dedup_sim_blocks, c.dedup_fallbacks),
+        (0, 0, 0),
+        "data-dependent kernel must be ineligible for dedup: {c:?}"
+    );
+    assert_eq!(stats.blocks_executed, SMALL_BLOCKS as u64);
+    let j = (5 * 7 + 3) % SMALL_N;
+    assert_eq!(mem.read((2 * SMALL_N + 5) * 4).as_u32(), j ^ 0xabcd);
+
+    // ---- SM-parity divergence: donor mismatch falls back, bit-identical ----
+    // Each SM's queue is single-parity, so the even SMs reuse the donor
+    // while every odd SM's replay must *fail verification* and resimulate.
+    let p = block_parity_kernel();
+    let run = |k: &Kernel, d: Dedup| {
+        set_dedup(d);
+        let mem = DeviceMemory::new(SMALL_N * 4);
+        let stats = launch(&cfg, k, dims(SMALL_BLOCKS), &[Value::from_u32(0)], &mem)
+            .expect("parity launch");
+        let out: Vec<u32> = (0..SMALL_N).map(|i| mem.read(i * 4).as_u32()).collect();
+        (stats, out)
+    };
+    let (off_stats, off_out) = run(&p, Dedup::Off);
+    reset_memo_counters();
+    let (on_stats, on_out) = run(&p, Dedup::On);
+    let c = memo_counters();
+    assert!(
+        c.dedup_fallbacks > 0,
+        "odd-parity SMs must fail donor verification and fall back: {c:?}"
+    );
+    assert_stats_identical("block_parity", &off_stats, &on_stats);
+    assert_eq!(off_out, on_out);
+    assert_eq!(on_out[TPB as usize], (TPB * 3 + 7)); // block 1 is odd
+    assert_eq!(on_out[0], 0); // block 0 is even
+
+    // ---- within-SM divergence: recorder invalidates, nothing fast ----
+    let g = gen_parity_kernel();
+    let (off_stats, off_out) = run(&g, Dedup::Off);
+    reset_memo_counters();
+    let (on_stats, on_out) = run(&g, Dedup::On);
+    let c = memo_counters();
+    assert_eq!(
+        c.dedup_fast_blocks, 0,
+        "mismatching sibling witnesses must prevent fast-forwarding: {c:?}"
+    );
+    assert_stats_identical("gen_parity", &off_stats, &on_stats);
+    assert_eq!(off_out, on_out);
+    let i = 16 * TPB; // block 16 is generation-odd
+    assert_eq!(on_out[i as usize], i * 3 + 7);
+    assert_eq!(on_out[0], 0); // block 0 is generation-even
+
+    set_dedup(Dedup::On);
+    set_memo(Memo::On);
+}
