@@ -23,4 +23,7 @@ pub mod tuner;
 pub use advisor::{advise, Hint, HintKind};
 pub use model::{estimate, Bottleneck, PerfEstimate};
 pub use occupancy::{kernel_occupancy, occupancy, LimitingResource, Occupancy};
-pub use tuner::{hill_climb, sweep, sweep_parallel, Sample, SweepResult};
+pub use tuner::{
+    hill_climb, sweep, sweep_fallible, sweep_parallel, sweep_parallel_fallible, FallibleSweep,
+    Sample, SweepResult,
+};

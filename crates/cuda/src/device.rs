@@ -4,9 +4,49 @@
 
 use crate::transfer::PcieModel;
 use g80_isa::{Kernel, Operand, Value};
-use g80_sim::{launch_traced, DeviceMemory, GpuConfig, KernelStats, LaunchDims};
+use g80_sim::fault;
+use g80_sim::{launch_traced, CudaError, DeviceMemory, GpuConfig, KernelStats, LaunchDims};
 use std::cell::RefCell;
 use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Bound on absorb-mode retries of injected device-layer faults (a safety
+/// net for rate-1.0 configurations; see [`absorb`]).
+const MAX_ABSORB_RETRIES: u32 = 64;
+
+/// Runs a fallible device operation through the absorb layer for the legacy
+/// infallible APIs: injected-class failures (typed [`CudaError`]s and
+/// panic-kind unwinds from the fault injector) are retried — each `try_*`
+/// op polls its site before mutating anything, so a retry is clean — while
+/// real errors panic with their legacy message and real panics propagate.
+fn absorb<T>(mut op: impl FnMut() -> Result<T, CudaError>) -> T {
+    if !fault::armed() {
+        // Zero-cost path: no unwind guard, just the legacy panic on error.
+        return op().unwrap_or_else(|e| panic!("{e}"));
+    }
+    let mut attempts = 0u32;
+    loop {
+        match catch_unwind(AssertUnwindSafe(&mut op)) {
+            Ok(Ok(v)) => return v,
+            Ok(Err(CudaError::InjectedFault { .. }))
+                if fault::retry() && attempts < MAX_ABSORB_RETRIES =>
+            {
+                attempts += 1;
+            }
+            Ok(Err(e)) => panic!("{e}"),
+            Err(p) => {
+                if fault::is_injected_payload(p.as_ref())
+                    && fault::retry()
+                    && attempts < MAX_ABSORB_RETRIES
+                {
+                    attempts += 1;
+                    continue;
+                }
+                resume_unwind(p);
+            }
+        }
+    }
+}
 
 /// Types that can live in device memory (32-bit words, like the register
 /// file).
@@ -159,56 +199,111 @@ impl Device {
     }
 
     /// Allocates `len` elements of device memory (256-byte aligned, like
-    /// cudaMalloc).
+    /// cudaMalloc). Panics on exhaustion with the legacy message; see
+    /// [`Device::try_alloc`] for the fallible form.
     pub fn alloc<T: Word32>(&mut self, len: usize) -> DeviceBuffer<T> {
+        absorb(|| self.try_alloc(len))
+    }
+
+    /// Fallible [`Device::alloc`]: reports exhaustion (and injected
+    /// `device.alloc` faults) as a [`CudaError`] instead of panicking.
+    pub fn try_alloc<T: Word32>(&mut self, len: usize) -> Result<DeviceBuffer<T>, CudaError> {
+        if let Some(f) = fault::poll_typed(fault::Site::DeviceAlloc) {
+            return Err(CudaError::InjectedFault { site: f.site });
+        }
         let bytes = (len as u32) * 4;
         let addr = self.next_free;
         let end = addr + bytes;
-        assert!(
-            end <= self.mem.len_bytes(),
-            "device out of memory: want {} B at {}, have {} B",
-            bytes,
-            addr,
-            self.mem.len_bytes()
-        );
+        if end > self.mem.len_bytes() {
+            return Err(CudaError::OutOfMemory {
+                want: bytes,
+                at: addr,
+                have: self.mem.len_bytes(),
+            });
+        }
         self.next_free = end.div_ceil(256) * 256;
-        DeviceBuffer {
+        Ok(DeviceBuffer {
             byte_addr: addr,
             len: len as u32,
             _t: PhantomData,
-        }
+        })
     }
 
     /// Copies host data to a device buffer (cudaMemcpyHostToDevice),
-    /// charging PCIe time.
+    /// charging PCIe time. Panics on an oversized copy; see
+    /// [`Device::try_copy_to_device`] for the fallible form.
     pub fn copy_to_device<T: Word32>(&self, buf: &DeviceBuffer<T>, data: &[T]) {
-        assert!(data.len() <= buf.len(), "h2d copy larger than buffer");
+        absorb(|| self.try_copy_to_device(buf, data))
+    }
+
+    /// Fallible [`Device::copy_to_device`].
+    pub fn try_copy_to_device<T: Word32>(
+        &self,
+        buf: &DeviceBuffer<T>,
+        data: &[T],
+    ) -> Result<(), CudaError> {
+        if let Some(f) = fault::poll_typed(fault::Site::DeviceCopy) {
+            return Err(CudaError::InjectedFault { site: f.site });
+        }
+        if data.len() > buf.len() {
+            return Err(CudaError::OversizedCopy {
+                len: data.len(),
+                capacity: buf.len(),
+            });
+        }
         for (i, v) in data.iter().enumerate() {
             self.mem
                 .write(buf.byte_addr + (i as u32) * 4, Value(v.to_bits()));
         }
         self.timeline.borrow_mut().h2d_s += self.pcie.transfer_time(data.len() as u64 * 4);
+        Ok(())
     }
 
     /// Copies a device buffer back to the host (cudaMemcpyDeviceToHost),
-    /// charging PCIe time.
+    /// charging PCIe time. See [`Device::try_copy_from_device`] for the
+    /// fallible form.
     pub fn copy_from_device<T: Word32>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        absorb(|| self.try_copy_from_device(buf))
+    }
+
+    /// Fallible [`Device::copy_from_device`]: the copy itself cannot fail
+    /// (the buffer bounds were checked at allocation), but an injected
+    /// `device.copy` fault surfaces here as a [`CudaError`].
+    pub fn try_copy_from_device<T: Word32>(
+        &self,
+        buf: &DeviceBuffer<T>,
+    ) -> Result<Vec<T>, CudaError> {
+        if let Some(f) = fault::poll_typed(fault::Site::DeviceCopy) {
+            return Err(CudaError::InjectedFault { site: f.site });
+        }
         let mut out = Vec::with_capacity(buf.len());
         for i in 0..buf.len {
             out.push(T::from_bits(self.mem.read(buf.byte_addr + i * 4).0));
         }
         self.timeline.borrow_mut().d2h_s += self.pcie.transfer_time(buf.len as u64 * 4);
-        out
+        Ok(out)
     }
 
-    /// Uploads the constant bank (cudaMemcpyToSymbol).
+    /// Uploads the constant bank (cudaMemcpyToSymbol). Panics on overflow;
+    /// see [`Device::try_set_const`] for the fallible form.
     pub fn set_const<T: Word32>(&mut self, data: &[T]) {
-        assert!(
-            data.len() * 4 <= self.cfg.const_mem_bytes as usize,
-            "constant bank overflow"
-        );
+        absorb(|| self.try_set_const(data))
+    }
+
+    /// Fallible [`Device::set_const`].
+    pub fn try_set_const<T: Word32>(&mut self, data: &[T]) -> Result<(), CudaError> {
+        if let Some(f) = fault::poll_typed(fault::Site::DeviceCopy) {
+            return Err(CudaError::InjectedFault { site: f.site });
+        }
+        if data.len() * 4 > self.cfg.const_mem_bytes as usize {
+            return Err(CudaError::ConstOverflow {
+                want: data.len() * 4,
+                have: self.cfg.const_mem_bytes as usize,
+            });
+        }
         self.mem.const_bank = data.iter().map(|v| v.to_bits()).collect();
         self.timeline.borrow_mut().h2d_s += self.pcie.transfer_time(data.len() as u64 * 4);
+        Ok(())
     }
 
     /// Binds a buffer as the 1D texture (cudaBindTexture).
@@ -441,8 +536,10 @@ mod tests {
     #[test]
     fn timeline_counts_memo_hits() {
         // Hit accounting is meaningless when the cache is globally disabled
-        // (the CI matrix runs the suite with G80_SIM_MEMO=off).
-        if g80_sim::memo() == g80_sim::Memo::Off {
+        // (the CI matrix runs the suite with G80_SIM_MEMO=off), and the
+        // exact hit count is perturbed when the chaos CI arms the fault
+        // injector (absorbed retries re-probe the cache).
+        if g80_sim::memo() == g80_sim::Memo::Off || fault::armed() {
             return;
         }
         // The memo key digests the full pre-launch memory image, so the

@@ -43,4 +43,5 @@ pub mod transfer;
 
 pub use cpu::{CpuModel, CpuTuning, CpuWork};
 pub use device::{launch_batch, BatchLaunch, Device, DeviceBuffer, Timeline, Word32};
+pub use g80_sim::{CudaError, SimError};
 pub use transfer::PcieModel;

@@ -1,0 +1,139 @@
+//! The unified error hierarchy for the simulator stack.
+//!
+//! [`crate::LaunchError`] covers launch-time rejection and per-launch
+//! degradation (watchdog aborts, injected faults, caught kernel panics).
+//! [`CudaError`] covers the host-runtime device layer (allocation,
+//! transfers, constant uploads) — it lives here rather than in `g80-cuda`
+//! because the dependency points that way, and because sweeps in `g80-core`
+//! plumb both through one [`SimError`].
+
+use crate::launch::LaunchError;
+
+/// Typed failures of the host-runtime device layer (`g80-cuda`). The
+/// legacy infallible APIs (`Device::alloc` etc.) panic with the same
+/// messages they always did; the `try_*` twins return these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CudaError {
+    /// Allocation exceeds remaining device memory.
+    OutOfMemory {
+        /// Bytes requested.
+        want: u32,
+        /// Byte offset the allocation would start at.
+        at: u32,
+        /// Total device memory in bytes.
+        have: u32,
+    },
+    /// A host-to-device copy is larger than the destination buffer.
+    OversizedCopy {
+        /// Elements in the host slice.
+        len: usize,
+        /// Capacity of the device buffer in elements.
+        capacity: usize,
+    },
+    /// A constant-bank upload exceeds the bank size.
+    ConstOverflow {
+        /// Bytes in the upload.
+        want: usize,
+        /// Constant bank capacity in bytes.
+        have: usize,
+    },
+    /// A deterministic fault injected at the named device-layer site
+    /// (see [`crate::fault`]).
+    InjectedFault {
+        /// [`crate::fault::Site::name`] of the firing site.
+        site: &'static str,
+    },
+}
+
+impl std::fmt::Display for CudaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CudaError::OutOfMemory { want, at, have } => write!(
+                f,
+                "OutOfMemory: device out of memory: want {want} B at {at}, have {have} B"
+            ),
+            CudaError::OversizedCopy { len, capacity } => write!(
+                f,
+                "OversizedCopy: h2d copy larger than buffer ({len} > {capacity} elements)"
+            ),
+            CudaError::ConstOverflow { want, have } => write!(
+                f,
+                "ConstOverflow: constant bank overflow ({want} B > {have} B)"
+            ),
+            CudaError::InjectedFault { site } => {
+                write!(f, "InjectedFault: injected fault at {site}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+/// Any failure the simulator stack can report: a launch-layer error or a
+/// device-layer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A launch was rejected or degraded (see [`LaunchError`]).
+    Launch(LaunchError),
+    /// A device-layer operation failed (see [`CudaError`]).
+    Cuda(CudaError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Launch(e) => write!(f, "Launch: {e}"),
+            SimError::Cuda(e) => write!(f, "Cuda: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Launch(e) => Some(e),
+            SimError::Cuda(e) => Some(e),
+        }
+    }
+}
+
+impl From<LaunchError> for SimError {
+    fn from(e: LaunchError) -> Self {
+        SimError::Launch(e)
+    }
+}
+
+impl From<CudaError> for SimError {
+    fn from(e: CudaError) -> Self {
+        SimError::Cuda(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_include_variant_names() {
+        let e = CudaError::OutOfMemory {
+            want: 4000,
+            at: 0,
+            have: 1024,
+        };
+        assert!(e.to_string().starts_with("OutOfMemory:"));
+        assert!(e.to_string().contains("device out of memory"));
+        let e = CudaError::ConstOverflow {
+            want: 80000,
+            have: 65536,
+        };
+        assert!(e.to_string().contains("constant bank overflow"));
+        let s: SimError = LaunchError::BadParams("kernel k expects 1 params, got 0".into()).into();
+        assert!(s.to_string().starts_with("Launch: BadParams:"), "{s}");
+        let s: SimError = CudaError::InjectedFault {
+            site: "device.alloc",
+        }
+        .into();
+        assert!(s.to_string().contains("device.alloc"));
+        assert!(std::error::Error::source(&s).is_some());
+    }
+}

@@ -20,6 +20,7 @@
 
 use crate::config::GpuConfig;
 use crate::counters::{KernelStats, SmStats};
+use crate::fault;
 use crate::memo;
 use crate::memory::DeviceMemory;
 use crate::pool;
@@ -28,6 +29,7 @@ use crate::sm::{run_sm, LaunchDims};
 use crate::witness::{replay_sm, Ev};
 use g80_isa::{DecodedKernel, Kernel, Value};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
@@ -92,7 +94,10 @@ pub fn executor() -> Executor {
     }
 }
 
-/// Errors rejected at launch time (the CUDA runtime would fail the same way).
+/// Errors rejected at launch time (the CUDA runtime would fail the same
+/// way), plus per-launch degradation outcomes: a launch whose simulation
+/// aborts (watchdog budget, injected fault, kernel panic) degrades to an
+/// `Err` for that launch alone instead of unwinding through the process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LaunchError {
     /// Block dimensions exceed the 512-thread limit or are zero.
@@ -104,20 +109,90 @@ pub enum LaunchError {
     BlockDoesNotFit(String),
     /// Wrong number of kernel parameters.
     BadParams(String),
+    /// An SM exceeded the watchdog cycle budget
+    /// (`G80_SIM_WATCHDOG_CYCLES` / [`crate::fault::set_watchdog_cycles`]),
+    /// carrying the aborting SM's partial progress.
+    Watchdog {
+        /// Kernel name.
+        kernel: String,
+        /// The budget that was exceeded.
+        budget: u64,
+        /// Simulated cycles reached on the aborting SM.
+        cycles: u64,
+        /// Warp instructions issued on the aborting SM before the abort.
+        warp_instructions: u64,
+    },
+    /// A typed fault from the deterministic injector ([`crate::fault`])
+    /// surfaced at the named site.
+    Fault {
+        /// [`crate::fault::Site::name`] of the firing site.
+        site: &'static str,
+    },
+    /// The launch's simulation panicked (kernel bug — e.g. an out-of-bounds
+    /// access or a divergent barrier — or a panic-kind injected fault);
+    /// the panic message is captured.
+    Panic(String),
+}
+
+impl LaunchError {
+    /// True when the error was manufactured by the fault injector (either
+    /// kind) rather than by the kernel or the machine. The absorb layer
+    /// retries these; everything else is reported.
+    pub fn is_injected(&self) -> bool {
+        match self {
+            LaunchError::Fault { .. } => true,
+            LaunchError::Panic(msg) => msg.starts_with(crate::fault::PANIC_MARKER),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Every variant leads with its name: log lines stay distinguishable
+        // even though the payloads are free-form strings.
         match self {
-            LaunchError::BadBlockDims(s)
-            | LaunchError::BadGridDims(s)
-            | LaunchError::BlockDoesNotFit(s)
-            | LaunchError::BadParams(s) => write!(f, "{s}"),
+            LaunchError::BadBlockDims(s) => write!(f, "BadBlockDims: {s}"),
+            LaunchError::BadGridDims(s) => write!(f, "BadGridDims: {s}"),
+            LaunchError::BlockDoesNotFit(s) => write!(f, "BlockDoesNotFit: {s}"),
+            LaunchError::BadParams(s) => write!(f, "BadParams: {s}"),
+            LaunchError::Watchdog {
+                kernel,
+                budget,
+                cycles,
+                warp_instructions,
+            } => write!(
+                f,
+                "Watchdog: kernel {kernel}: exceeded the {budget}-cycle budget \
+                 (aborted at cycle {cycles} after {warp_instructions} warp instructions)"
+            ),
+            LaunchError::Fault { site } => write!(f, "Fault: injected fault at {site}"),
+            LaunchError::Panic(msg) => write!(f, "Panic: {msg}"),
         }
     }
 }
 
 impl std::error::Error for LaunchError {}
+
+/// Classifies an unwind payload caught at the launch boundary.
+fn classify_panic(p: Box<dyn std::any::Any + Send>) -> LaunchError {
+    if let Some(w) = p.downcast_ref::<crate::fault::WatchdogAbort>() {
+        return LaunchError::Watchdog {
+            kernel: w.kernel.clone(),
+            budget: w.budget,
+            cycles: w.cycles,
+            warp_instructions: w.warp_instructions,
+        };
+    }
+    if let Some(fi) = p.downcast_ref::<crate::fault::InjectedFault>() {
+        return LaunchError::Fault { site: fi.site };
+    }
+    LaunchError::Panic(
+        crate::fault::payload_str(p.as_ref())
+            .unwrap_or("non-string panic payload")
+            .to_string(),
+    )
+}
 
 /// One launch of a batch: everything [`launch`] takes except the shared
 /// machine configuration. Entries are independent; if several specs share a
@@ -329,10 +404,51 @@ pub fn launch_traced(
     launch_with_memo(cfg, spec, true)
 }
 
+/// Bound on absorb-mode retries of injected-class failures. At realistic
+/// injection rates the probability of exhausting this is negligible; at
+/// rate 1.0 it prevents an infinite loop (the error is reported instead).
+const MAX_FAULT_RETRIES: u32 = 32;
+
 /// [`launch`] body with an explicit memo-exclusivity verdict (batches pass
 /// `false` for specs that share a [`DeviceMemory`] with a concurrent spec).
 /// The boolean in the result is the memo-hit verdict.
+///
+/// When fault injection is armed with absorb-and-retry enabled (the
+/// default), injected-class failures are retried after restoring the
+/// pre-launch memory image — a retry without the restore would double-apply
+/// the partial writes of in-place kernels. Simulation is deterministic, so
+/// an absorbed launch is bit-identical to an unfaulted one.
 fn launch_with_memo(
+    cfg: &GpuConfig,
+    spec: LaunchSpec,
+    exclusive_mem: bool,
+) -> Result<(KernelStats, bool), LaunchError> {
+    if !fault::armed() {
+        return launch_once(cfg, spec, exclusive_mem);
+    }
+    let snapshot = if fault::retry() {
+        Some(spec.mem.snapshot_words())
+    } else {
+        None
+    };
+    let mut attempts = 0u32;
+    loop {
+        match launch_once(cfg, spec, exclusive_mem) {
+            Err(e) if e.is_injected() && attempts < MAX_FAULT_RETRIES && snapshot.is_some() => {
+                attempts += 1;
+                spec.mem.restore_words(snapshot.as_ref().unwrap());
+            }
+            r => return r,
+        }
+    }
+}
+
+/// One attempt at a launch: validate, probe the memo cache, simulate,
+/// record. Unwinds from the simulation (kernel bugs, watchdog aborts,
+/// injected faults) are caught per launch and classified into
+/// [`LaunchError`]s; launch-time validation panics (e.g. the 32-lane-warp
+/// engine limit) stay panics.
+fn launch_once(
     cfg: &GpuConfig,
     spec: LaunchSpec,
     exclusive_mem: bool,
@@ -356,8 +472,13 @@ fn launch_with_memo(
     };
 
     // Predecode (and dataflow-analyze) once per process per kernel content.
+    // Decode can unwind (injected isa.decode fault); that costs this launch
+    // only.
     let info = match engine() {
-        Engine::Predecoded => Some(memo::kernel_info(spec.kernel)),
+        Engine::Predecoded => Some(
+            catch_unwind(AssertUnwindSafe(|| memo::kernel_info(spec.kernel)))
+                .map_err(classify_panic)?,
+        ),
         Engine::Reference => None,
     };
     let decoded = info.as_deref().map(|i| &i.decoded);
@@ -366,14 +487,39 @@ fn launch_with_memo(
     let shared_uniform = info.as_deref().is_some_and(|i| i.shared_uniform);
 
     let results = match executor() {
-        Executor::Pooled => run_sms_pooled(cfg, &prepared, decoded, dedup, shared_uniform),
-        Executor::SpawnPerLaunch => run_sms_spawn(cfg, &prepared, decoded, dedup, shared_uniform),
+        Executor::Pooled => run_sms_pooled(cfg, &prepared, decoded, dedup, shared_uniform)?,
+        Executor::SpawnPerLaunch => run_sms_spawn(cfg, &prepared, decoded, dedup, shared_uniform)?,
     };
     let stats = prepared.merge(cfg, results);
     if let memo::MemoLookup::Miss(pending) = lookup {
         memo::memo_record(pending, prepared.spec.mem, &stats);
     }
     Ok((stats, false))
+}
+
+/// Collects per-SM task results, degrading the first panic (in SM order)
+/// into a classified [`LaunchError`] for the owning launch. Every task ran
+/// to completion or unwound inside its own slot, so losing the launch loses
+/// nothing else.
+fn collect_sm_results(
+    slots: Vec<Result<SmStats, pool::TaskPanic>>,
+) -> Result<Vec<SmStats>, LaunchError> {
+    let mut out = Vec::with_capacity(slots.len());
+    let mut first_err: Option<LaunchError> = None;
+    for slot in slots {
+        match slot {
+            Ok(stats) => out.push(stats),
+            Err(p) => {
+                if first_err.is_none() {
+                    first_err = Some(classify_panic(p.0));
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
 }
 
 /// Default path: one pool task per SM *with work to do*. An empty SM's
@@ -386,7 +532,7 @@ fn run_sms_pooled(
     decoded: Option<&DecodedKernel>,
     dedup: bool,
     shared_uniform: bool,
-) -> Vec<SmStats> {
+) -> Result<Vec<SmStats>, LaunchError> {
     let busy: Vec<(usize, &Vec<(u32, u32)>)> = prepared
         .per_sm_blocks
         .iter()
@@ -403,19 +549,22 @@ fn run_sms_pooled(
     if let (true, Some(d)) = (dedup && busy.len() > 1, decoded) {
         let (donor_sm, donor_blocks) = busy[0];
         let mut rep: Option<Vec<Vec<Ev>>> = None;
-        let donor_stats = prepared.run_sm(
-            decoded,
-            donor_blocks,
-            cfg,
-            true,
-            shared_uniform,
-            Some(&mut rep),
-        );
+        let donor_stats = catch_unwind(AssertUnwindSafe(|| {
+            prepared.run_sm(
+                decoded,
+                donor_blocks,
+                cfg,
+                true,
+                shared_uniform,
+                Some(&mut rep),
+            )
+        }))
+        .map_err(classify_panic)?;
         let rep = rep; // frozen for shared capture below
         let donor_len = donor_blocks.len();
         let donor_ref = &donor_stats;
         let rep_ref = rep.as_deref();
-        let partial = pool::run_tasks(
+        let partial = collect_sm_results(pool::try_run_tasks(
             busy[1..]
                 .iter()
                 .map(|&(_, blocks)| {
@@ -432,25 +581,25 @@ fn run_sms_pooled(
                     }
                 })
                 .collect(),
-        );
+        ))?;
         for ((sm, _), stats) in busy[1..].iter().zip(partial) {
             results[*sm] = stats;
         }
         results[donor_sm] = donor_stats;
-        return results;
+        return Ok(results);
     }
 
-    let partial = pool::run_tasks(
+    let partial = collect_sm_results(pool::try_run_tasks(
         busy.iter()
             .map(|&(_, blocks)| {
                 move || prepared.run_sm(decoded, blocks, cfg, dedup, shared_uniform, None)
             })
             .collect(),
-    );
+    ))?;
     for ((sm, _), stats) in busy.into_iter().zip(partial) {
         results[sm] = stats;
     }
-    results
+    Ok(results)
 }
 
 /// Frozen baseline: the original per-launch `std::thread::scope` burst,
@@ -462,8 +611,9 @@ fn run_sms_spawn(
     decoded: Option<&DecodedKernel>,
     dedup: bool,
     shared_uniform: bool,
-) -> Vec<SmStats> {
+) -> Result<Vec<SmStats>, LaunchError> {
     let mut results: Vec<SmStats> = Vec::with_capacity(cfg.num_sms as usize);
+    let mut first_err: Option<LaunchError> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = prepared
             .per_sm_blocks
@@ -475,10 +625,20 @@ fn run_sms_spawn(
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("SM simulation thread panicked"));
+            match h.join() {
+                Ok(stats) => results.push(stats),
+                Err(p) => {
+                    if first_err.is_none() {
+                        first_err = Some(classify_panic(p));
+                    }
+                }
+            }
         }
     });
-    results
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(results),
+    }
 }
 
 /// Launches a fleet of independent kernels and runs them all to completion,
@@ -507,14 +667,58 @@ pub fn launch_batch_traced(
     specs: &[LaunchSpec],
 ) -> Vec<Result<(KernelStats, bool), LaunchError>> {
     // The frozen baseline executes the batch as the studies used to: one
-    // launch at a time, each paying its own spawn burst.
+    // launch at a time, each paying its own spawn burst (each launch gets
+    // its own absorb/retry through `launch_with_memo`).
     if executor() == Executor::SpawnPerLaunch {
         return specs
             .iter()
             .map(|s| launch_with_memo(cfg, *s, true))
             .collect();
     }
+    if !fault::armed() {
+        return launch_batch_once(cfg, specs);
+    }
 
+    // Absorb/retry for the pooled batch: specs may share memories, so a
+    // per-launch restore could clobber a sibling's committed writes. Retry
+    // the *whole batch* instead, restoring every distinct memory first.
+    // Simulation is deterministic, so unfaulted entries recompute the same
+    // stats and writes on every attempt.
+    let snapshots: Option<Vec<(&DeviceMemory, Vec<u32>)>> = fault::retry().then(|| {
+        let mut seen: HashMap<*const DeviceMemory, ()> = HashMap::new();
+        let mut snaps = Vec::new();
+        for s in specs {
+            if seen.insert(std::ptr::from_ref(s.mem), ()).is_none() {
+                snaps.push((s.mem, s.mem.snapshot_words()));
+            }
+        }
+        snaps
+    });
+    let mut attempts = 0u32;
+    loop {
+        let results = launch_batch_once(cfg, specs);
+        let injected = results
+            .iter()
+            .any(|r| matches!(r, Err(e) if e.is_injected()));
+        match &snapshots {
+            Some(snaps) if injected && attempts < MAX_FAULT_RETRIES => {
+                attempts += 1;
+                for (mem, words) in snaps {
+                    mem.restore_words(words);
+                }
+            }
+            _ => return results,
+        }
+    }
+}
+
+/// One attempt at a pooled batch. A panic in any SM task (or in a spec's
+/// predecode) costs only the launch that owns it; every other entry's tasks
+/// still run and merge normally.
+fn launch_batch_once(
+    cfg: &GpuConfig,
+    specs: &[LaunchSpec],
+) -> Vec<Result<(KernelStats, bool), LaunchError>> {
     let prepared: Vec<Result<Prepared, LaunchError>> = specs
         .iter()
         .map(|&spec| {
@@ -527,13 +731,28 @@ pub fn launch_batch_traced(
         })
         .collect();
 
+    // Degradation outcomes discovered after validation (decode unwinds, SM
+    // task panics) land here; the first per spec wins.
+    let mut per_spec_err: Vec<Option<LaunchError>> = vec![None; specs.len()];
+
     // Kernel info comes from the process-wide content-hash registry: each
     // distinct kernel is predecoded (and dataflow-analyzed) once per
-    // *process*, shared across batches and with plain `launch` calls.
+    // *process*, shared across batches and with plain `launch` calls. A
+    // decode unwind (injected isa.decode fault) fails only the specs that
+    // use that kernel.
     let infos: Vec<Option<Arc<memo::KernelInfo>>> = prepared
         .iter()
-        .map(|p| match (engine(), p) {
-            (Engine::Predecoded, Ok(p)) => Some(memo::kernel_info(p.spec.kernel)),
+        .enumerate()
+        .map(|(si, p)| match (engine(), p) {
+            (Engine::Predecoded, Ok(p)) => {
+                match catch_unwind(AssertUnwindSafe(|| memo::kernel_info(p.spec.kernel))) {
+                    Ok(info) => Some(info),
+                    Err(e) => {
+                        per_spec_err[si] = Some(classify_panic(e));
+                        None
+                    }
+                }
+            }
             _ => None,
         })
         .collect();
@@ -553,7 +772,7 @@ pub fn launch_batch_traced(
     let mut pendings: Vec<Option<memo::MemoPending>> = Vec::with_capacity(specs.len());
     for (si, p) in prepared.iter().enumerate() {
         let mut pending = None;
-        if let Ok(p) = p {
+        if let (Ok(p), None) = (p, &per_spec_err[si]) {
             let exclusive = mem_uses[&std::ptr::from_ref(p.spec.mem)] == 1;
             let s = &p.spec;
             match memo::memo_lookup(cfg, s.kernel, s.dims, s.params, s.mem, exclusive) {
@@ -572,7 +791,7 @@ pub fn launch_batch_traced(
     let mut owners: Vec<(usize, usize)> = Vec::new(); // (spec index, sm index)
     for (si, p) in prepared.iter().enumerate() {
         let Ok(p) = p else { continue };
-        if hit_stats[si].is_some() {
+        if hit_stats[si].is_some() || per_spec_err[si].is_some() {
             continue;
         }
         let d = infos[si].as_deref().map(|i| &i.decoded);
@@ -586,9 +805,12 @@ pub fn launch_batch_traced(
             tasks.push(Box::new(move || p.run_sm(d, blocks, cfg, dedup, su, None)));
         }
     }
-    let flat = pool::run_tasks(tasks);
+    let flat = pool::try_run_tasks(tasks);
 
-    // Scatter SM results back to their launches and merge per launch.
+    // Scatter SM results back to their launches and merge per launch. A
+    // panicked task fails its owning spec (first panic in SM order wins)
+    // without contaminating any other entry: every slot was filled
+    // independently under its own catch.
     let mut per_spec: Vec<Vec<SmStats>> = prepared
         .iter()
         .map(|p| match p {
@@ -596,23 +818,33 @@ pub fn launch_batch_traced(
             Err(_) => Vec::new(),
         })
         .collect();
-    for ((si, sm), stats) in owners.into_iter().zip(flat) {
-        per_spec[si][sm] = stats;
+    for ((si, sm), slot) in owners.into_iter().zip(flat) {
+        match slot {
+            Ok(stats) => per_spec[si][sm] = stats,
+            Err(p) => {
+                if per_spec_err[si].is_none() {
+                    per_spec_err[si] = Some(classify_panic(p.0));
+                }
+            }
+        }
     }
     prepared
         .into_iter()
         .zip(per_spec)
         .enumerate()
         .map(|(si, (p, results))| {
-            p.map(|p| {
+            p.and_then(|p| {
+                if let Some(e) = per_spec_err[si].take() {
+                    return Err(e);
+                }
                 if let Some(stats) = hit_stats[si].take() {
-                    return (stats, true);
+                    return Ok((stats, true));
                 }
                 let stats = p.merge(cfg, results);
                 if let Some(pending) = pendings[si].take() {
                     memo::memo_record(pending, p.spec.mem, &stats);
                 }
-                (stats, false)
+                Ok((stats, false))
             })
         })
         .collect()

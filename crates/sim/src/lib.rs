@@ -57,6 +57,8 @@
 
 pub mod config;
 pub mod counters;
+pub mod error;
+pub mod fault;
 pub mod launch;
 pub mod memo;
 pub mod memory;
@@ -68,6 +70,8 @@ mod witness;
 
 pub use config::GpuConfig;
 pub use counters::{KernelStats, StallReason};
+pub use error::{CudaError, SimError};
+pub use fault::{set_faults, set_watchdog_cycles, watchdog_cycles, FaultConfig, FaultKind, Site};
 pub use launch::{
     engine, executor, launch, launch_batch, launch_batch_traced, launch_traced, set_engine,
     set_executor, Engine, Executor, LaunchError, LaunchSpec,

@@ -22,12 +22,14 @@
 
 use crate::config::GpuConfig;
 use crate::counters::KernelStats;
+use crate::fault::{self, lock_recover};
 use crate::memory::DeviceMemory;
 use crate::sm::LaunchDims;
 use g80_isa::dataflow::{self, TaintSummary};
 use g80_isa::{DecodedKernel, Kernel, Value};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -110,7 +112,7 @@ const DEFAULT_MEMO_CAP: usize = 128;
 /// entries immediately.
 pub fn set_memo_capacity(cap: usize) {
     MEMO_CAP.store(cap.max(1), Ordering::SeqCst);
-    let mut cache = launch_cache().lock().unwrap();
+    let mut cache = lock_recover(launch_cache());
     let cap = cap.max(1);
     while cache.map.len() > cap {
         cache.evict_lru();
@@ -291,13 +293,19 @@ fn registry() -> &'static Mutex<Registry> {
 /// so clones and rebuilt kernels with identical code share one entry.
 pub fn kernel_info(kernel: &Kernel) -> Arc<KernelInfo> {
     let key = code_hash(&kernel.code);
-    let mut reg = registry().lock().unwrap();
-    reg.tick += 1;
-    let tick = reg.tick;
-    if let Some((info, last_used)) = reg.map.get_mut(&key) {
-        *last_used = tick;
-        return Arc::clone(info);
+    {
+        let mut reg = lock_recover(registry());
+        reg.tick += 1;
+        let tick = reg.tick;
+        if let Some((info, last_used)) = reg.map.get_mut(&key) {
+            *last_used = tick;
+            return Arc::clone(info);
+        }
     }
+    // Decode and analyze *outside* the registry lock: predecode can unwind
+    // (the fault injector's isa.decode probe), and an unwind here must leave
+    // the registry untouched. Two racing first-decoders both compute; the
+    // loser's insert simply overwrites an identical entry.
     let taint = dataflow::analyze(&kernel.code);
     let dedup_eligible = taint.timing_data_independent()
         && !taint.has_atomic
@@ -310,6 +318,9 @@ pub fn kernel_info(kernel: &Kernel) -> Arc<KernelInfo> {
         dedup_eligible,
         shared_uniform: !taint.ctaid_shared_addr,
     });
+    let mut reg = lock_recover(registry());
+    reg.tick += 1;
+    let tick = reg.tick;
     if reg.map.len() >= REGISTRY_CAP {
         if let Some(&old) = reg
             .map
@@ -343,7 +354,69 @@ struct MemoEntry {
     stats: KernelStats,
     /// Sparse post-launch memory effect: (word index, new value).
     delta: Vec<(u32, u32)>,
+    /// Integrity digest of `stats` + `delta`, verified before a hit is
+    /// served. A mismatched entry (bit rot, injected memo.store fault) is
+    /// evicted and the launch falls back to fresh simulation, counted as a
+    /// miss.
+    checksum: u64,
     last_used: u64,
+}
+
+/// Integrity digest of a memo entry's payload. HashMap-valued stats fields
+/// are folded in sorted order so the digest is iteration-order independent.
+fn entry_checksum(stats: &KernelStats, delta: &[(u32, u32)]) -> u64 {
+    let mut h = Mix64::new(0x4528_21e6_38d0_1377);
+    stats.name.hash(&mut h);
+    h.write_u64(stats.cycles);
+    h.write_u64(stats.elapsed.to_bits());
+    h.write_u64(stats.warp_instructions);
+    h.write_u64(stats.thread_instructions);
+    h.write_u64(stats.flops);
+    h.write_u64(stats.global_ld_transactions);
+    h.write_u64(stats.global_st_transactions);
+    h.write_u64(stats.global_bytes);
+    h.write_u64(stats.coalesced_half_warps);
+    h.write_u64(stats.uncoalesced_half_warps);
+    h.write_u64(stats.smem_conflict_extra_cycles);
+    h.write_u64(stats.divergent_branches);
+    h.write_u64(stats.tex_hits);
+    h.write_u64(stats.tex_misses);
+    h.write_u64(stats.const_hits);
+    h.write_u64(stats.const_misses);
+    h.write_u64(stats.atomic_transactions);
+    h.write_u64(stats.blocks_executed);
+    h.write_u32(stats.regs_per_thread);
+    h.write_u32(stats.smem_per_block);
+    h.write_u32(stats.threads_per_block);
+    h.write_u32(stats.blocks_per_sm);
+    h.write_u32(stats.max_simultaneous_threads);
+    h.write_u64(stats.total_threads);
+    let mut classes: Vec<(usize, u64)> = stats
+        .by_class
+        .iter()
+        .map(|(k, v)| (k.index(), *v))
+        .collect();
+    classes.sort_unstable();
+    for (k, v) in classes {
+        h.write_u32(k as u32);
+        h.write_u64(v);
+    }
+    let mut stalls: Vec<(u8, u64)> = stats
+        .stall_cycles
+        .iter()
+        .map(|(k, v)| (*k as u8, *v))
+        .collect();
+    stalls.sort_unstable();
+    for (k, v) in stalls {
+        h.write_u32(k as u32);
+        h.write_u64(v);
+    }
+    h.write_u64(delta.len() as u64);
+    for &(i, w) in delta {
+        h.write_u32(i);
+        h.write_u32(w);
+    }
+    h.finish()
 }
 
 struct LaunchCache {
@@ -376,7 +449,7 @@ fn launch_cache() -> &'static Mutex<LaunchCache> {
 
 /// Drops every cached launch (tests).
 pub fn clear_memo_cache() {
-    launch_cache().lock().unwrap().map.clear();
+    lock_recover(launch_cache()).map.clear();
 }
 
 /// Outcome of a memo-cache probe.
@@ -479,12 +552,45 @@ pub(crate) fn memo_lookup(
     if memo() == Memo::Off || !exclusive_mem {
         return MemoLookup::Disabled;
     }
+    if !fault::armed() {
+        return memo_lookup_inner(cfg, kernel, dims, params, mem);
+    }
+    // Degradation contract: a memo-layer panic (injected memo.load fault)
+    // costs this launch its cache probe, nothing more — it simulates fresh.
+    match catch_unwind(AssertUnwindSafe(|| {
+        memo_lookup_inner(cfg, kernel, dims, params, mem)
+    })) {
+        Ok(v) => v,
+        Err(p) if fault::is_injected_payload(p.as_ref()) => MemoLookup::Disabled,
+        Err(p) => resume_unwind(p),
+    }
+}
+
+fn memo_lookup_inner(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    dims: LaunchDims,
+    params: &[Value],
+    mem: &DeviceMemory,
+) -> MemoLookup {
+    // Polled before the lock: a panic-kind fault unwinds without touching
+    // the cache; a typed fault flags whatever entry we find as corrupt,
+    // exercising the same eviction path as real bit rot.
+    let tampered = fault::tamper(fault::Site::MemoLoad);
     let pre = mem.snapshot_words();
     let key = memo_key(cfg, kernel, dims, params, &pre, mem, current_mode());
-    let mut cache = launch_cache().lock().unwrap();
+    let mut cache = lock_recover(launch_cache());
     cache.tick += 1;
     let tick = cache.tick;
     if let Some(entry) = cache.map.get_mut(&key) {
+        // Verify integrity *before* applying the delta: a corrupt entry
+        // must not touch memory. Evict it and fall back to simulation.
+        if tampered || entry_checksum(&entry.stats, &entry.delta) != entry.checksum {
+            cache.map.remove(&key);
+            drop(cache);
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            return MemoLookup::Miss(MemoPending { key, pre });
+        }
         entry.last_used = tick;
         let stats = entry.stats.clone();
         // Replay the recorded memory effect while still holding the lock
@@ -503,9 +609,26 @@ pub(crate) fn memo_lookup(
 }
 
 /// Records a simulated launch: diffs the pre-launch snapshot against the
-/// current memory image and inserts the (stats, delta) pair, evicting the
-/// least-recently-used entry when the cache is full.
+/// current memory image and inserts the (stats, delta, checksum) entry,
+/// evicting the least-recently-used entry when the cache is full.
 pub(crate) fn memo_record(pending: MemoPending, mem: &DeviceMemory, stats: &KernelStats) {
+    if !fault::armed() {
+        return memo_record_inner(pending, mem, stats, false);
+    }
+    // A memo-store panic costs this launch its cache entry, nothing more;
+    // a typed memo.store fault records a *corrupted* checksum, which the
+    // next lookup of this key detects and evicts.
+    match catch_unwind(AssertUnwindSafe(|| {
+        let corrupt = fault::tamper(fault::Site::MemoStore);
+        memo_record_inner(pending, mem, stats, corrupt)
+    })) {
+        Ok(()) => {}
+        Err(p) if fault::is_injected_payload(p.as_ref()) => {}
+        Err(p) => resume_unwind(p),
+    }
+}
+
+fn memo_record_inner(pending: MemoPending, mem: &DeviceMemory, stats: &KernelStats, corrupt: bool) {
     let post = mem.snapshot_words();
     debug_assert_eq!(pending.pre.len(), post.len());
     let delta: Vec<(u32, u32)> = pending
@@ -516,8 +639,9 @@ pub(crate) fn memo_record(pending: MemoPending, mem: &DeviceMemory, stats: &Kern
         .filter(|(_, (a, b))| a != b)
         .map(|(i, (_, &b))| (i as u32, b))
         .collect();
+    let checksum = entry_checksum(stats, &delta) ^ ((corrupt as u64) * 0xdead_beef);
     let cap = memo_capacity();
-    let mut cache = launch_cache().lock().unwrap();
+    let mut cache = lock_recover(launch_cache());
     cache.tick += 1;
     let tick = cache.tick;
     while cache.map.len() >= cap {
@@ -528,6 +652,7 @@ pub(crate) fn memo_record(pending: MemoPending, mem: &DeviceMemory, stats: &Kern
         MemoEntry {
             stats: stats.clone(),
             delta,
+            checksum,
             last_used: tick,
         },
     );

@@ -103,6 +103,18 @@ impl DeviceMemory {
             .collect()
     }
 
+    /// Restores a [`snapshot_words`](Self::snapshot_words) image, undoing
+    /// every global write since the snapshot. The launch layer uses this to
+    /// retry a launch whose partial writes would otherwise double-apply
+    /// (kernels cannot write the constant bank or rebind textures, so the
+    /// word image is the whole mutable state).
+    pub fn restore_words(&self, snapshot: &[u32]) {
+        assert_eq!(snapshot.len(), self.words.len(), "snapshot size mismatch");
+        for (cell, &w) in self.words.iter().zip(snapshot) {
+            cell.store(w, Ordering::Relaxed);
+        }
+    }
+
     /// Reads a constant-bank word at a byte address.
     #[inline]
     pub fn read_const(&self, addr: u32) -> Value {

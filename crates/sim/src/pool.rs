@@ -31,10 +31,11 @@
 //! order, so simulated statistics are bit-identical for any worker count —
 //! enforced by `tests/golden_stats.rs` and the `G80_SIM_THREADS=1` CI run.
 
+use crate::fault::{self, lock_recover, wait_recover};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// A lifetime-erased unit of work. Safety: a `Task` may borrow from the
 /// stack frame that created it; [`scope_run`] guarantees every task has
@@ -65,17 +66,17 @@ impl Group {
     }
 
     fn pop(&self) -> Option<Task> {
-        self.queue.lock().unwrap().pop_front()
+        lock_recover(&self.queue).pop_front()
     }
 
     /// Runs one task, recording a panic instead of unwinding into the
     /// scheduler, and signals the owner when the last task finishes.
     fn run(&self, task: Task) {
         if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-            self.panic.lock().unwrap().get_or_insert(payload);
+            lock_recover(&self.panic).get_or_insert(payload);
         }
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            *self.done.lock().unwrap() = true;
+            *lock_recover(&self.done) = true;
             self.done_cv.notify_all();
         }
     }
@@ -92,7 +93,7 @@ impl Shared {
     fn steal(&self, groups: &mut Vec<Arc<Group>>) -> Option<(Arc<Group>, Task)> {
         loop {
             let g = groups.first().map(Arc::clone)?;
-            let mut q = g.queue.lock().unwrap();
+            let mut q = lock_recover(&g.queue);
             if let Some(task) = q.pop_front() {
                 let drained = q.is_empty();
                 drop(q);
@@ -135,14 +136,26 @@ fn pool() -> &'static Pool {
         });
         let workers = configured_workers();
         for i in 0..workers {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("g80-sim-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn simulation worker");
+            spawn_worker(Arc::clone(&shared), i);
         }
         Pool { shared, workers }
     })
+}
+
+/// Spawns one pool worker. If the worker dies to an injected fault (real
+/// task panics are caught inside [`Group::run`] and can't unwind the
+/// worker), a replacement is spawned so the pool keeps its configured
+/// width; the death is counted in [`fault::worker_deaths`].
+fn spawn_worker(shared: Arc<Shared>, i: usize) {
+    std::thread::Builder::new()
+        .name(format!("g80-sim-{i}"))
+        .spawn(move || {
+            if catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))).is_err() {
+                fault::count_worker_death();
+                spawn_worker(shared, i);
+            }
+        })
+        .expect("spawn simulation worker");
 }
 
 /// Number of pool worker threads (excluding scope owners, which also
@@ -153,13 +166,16 @@ pub fn worker_count() -> usize {
 
 fn worker_loop(shared: &Shared) {
     loop {
+        // Polled *before* stealing, so an injected worker death never takes
+        // a popped task with it — the task stays queued for another thread.
+        fault::poll(fault::Site::PoolWorker);
         let stolen = {
-            let mut groups = shared.groups.lock().unwrap();
+            let mut groups = lock_recover(&shared.groups);
             loop {
                 if let Some(hit) = shared.steal(&mut groups) {
                     break hit;
                 }
-                groups = shared.work_cv.wait(groups).unwrap();
+                groups = wait_recover(&shared.work_cv, groups);
             }
         };
         let (group, task) = stolen;
@@ -174,49 +190,74 @@ fn scope_run(tasks: VecDeque<Task>) {
     let pool = pool();
     let group = Arc::new(Group::new(tasks));
     {
-        let mut groups = pool.shared.groups.lock().unwrap();
+        let mut groups = lock_recover(&pool.shared.groups);
         groups.push(Arc::clone(&group));
     }
     pool.shared.work_cv.notify_all();
     while let Some(task) = group.pop() {
         group.run(task);
     }
-    let mut done = group.done.lock().unwrap();
+    let mut done = lock_recover(&group.done);
     while !*done {
-        done = group.done_cv.wait(done).unwrap();
+        done = wait_recover(&group.done_cv, done);
     }
     drop(done);
-    let payload = group.panic.lock().unwrap().take();
+    let payload = lock_recover(&group.panic).take();
     if let Some(payload) = payload {
         resume_unwind(payload);
     }
 }
 
+/// The captured unwind payload of a single pool task.
+pub struct TaskPanic(pub Box<dyn std::any::Any + Send>);
+
+impl TaskPanic {
+    /// The panic message, when the payload carries one.
+    pub fn message(&self) -> &str {
+        fault::payload_str(self.0.as_ref()).unwrap_or("non-string panic payload")
+    }
+
+    /// Re-raises the captured panic.
+    pub fn resume(self) -> ! {
+        resume_unwind(self.0)
+    }
+}
+
+impl std::fmt::Debug for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaskPanic({:?})", self.message())
+    }
+}
+
 /// Runs every closure on the pool (the calling thread participates) and
-/// returns their results **in input order**. Closures may borrow from the
-/// caller's stack, exactly like `std::thread::scope` spawns; a single-task
-/// input runs inline with no queue round-trip.
-///
-/// If a task panics, the panic is re-raised here after all remaining tasks
-/// have completed (the borrows a task holds must outlive its execution).
-pub fn run_tasks<T, F>(fns: Vec<F>) -> Vec<T>
+/// returns their results **in input order**, with each task's panic — if
+/// any — captured per slot instead of unwinding. One failing task cannot
+/// disturb its siblings: every other task still runs to completion and
+/// keeps its own result.
+pub fn try_run_tasks<T, F>(fns: Vec<F>) -> Vec<Result<T, TaskPanic>>
 where
     F: FnOnce() -> T + Send,
     T: Send,
 {
     match fns.len() {
         0 => return Vec::new(),
-        1 => return vec![fns.into_iter().next().unwrap()()],
+        1 => {
+            let f = fns.into_iter().next().unwrap();
+            return vec![catch_unwind(AssertUnwindSafe(f)).map_err(TaskPanic)];
+        }
         _ => {}
     }
-    let slots: Vec<Mutex<Option<T>>> = fns.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
+        fns.iter().map(|_| Mutex::new(None)).collect();
     let tasks: VecDeque<Task> = fns
         .into_iter()
         .zip(&slots)
         .map(|(f, slot)| {
             let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                let value = f();
-                *slot.lock().unwrap() = Some(value);
+                // The task catches its own panic so the slot always ends up
+                // filled; Group::run's catch is only a backstop.
+                let r = catch_unwind(AssertUnwindSafe(f)).map_err(TaskPanic);
+                *lock_recover(slot) = Some(r);
             });
             // SAFETY: `scope_run` does not return until every task has run
             // to completion, so the borrows of `slots` (and whatever `f`
@@ -231,10 +272,39 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("pool task finished without storing a result")
         })
         .collect()
+}
+
+/// Runs every closure on the pool (the calling thread participates) and
+/// returns their results **in input order**. Closures may borrow from the
+/// caller's stack, exactly like `std::thread::scope` spawns; a single-task
+/// input runs inline with no queue round-trip.
+///
+/// If a task panics, the panic is re-raised here after all remaining tasks
+/// have completed (the borrows a task holds must outlive its execution).
+/// Callers that need per-task isolation use [`try_run_tasks`] instead.
+pub fn run_tasks<T, F>(fns: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let mut out = Vec::with_capacity(fns.len());
+    let mut first_panic: Option<TaskPanic> = None;
+    for r in try_run_tasks(fns) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => {
+                first_panic.get_or_insert(p);
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        p.resume();
+    }
+    out
 }
 
 #[cfg(test)]
@@ -301,6 +371,42 @@ mod tests {
                 h.join().unwrap();
             }
         });
+    }
+
+    #[test]
+    fn try_run_tasks_isolates_panics_per_slot() {
+        let out = try_run_tasks(
+            (0..8usize)
+                .map(|i| {
+                    move || {
+                        if i % 3 == 0 {
+                            panic!("boom {i}");
+                        }
+                        i * 2
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            match r {
+                Ok(v) => {
+                    assert_ne!(i % 3, 0);
+                    assert_eq!(*v, i * 2);
+                }
+                Err(p) => {
+                    assert_eq!(i % 3, 0);
+                    assert!(p.message().contains("boom"), "{p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_tasks_single_task_catches_inline() {
+        let out = try_run_tasks(vec![|| -> u32 { panic!("solo") }]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].as_ref().unwrap_err().message().contains("solo"));
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub fn run_sm_reference(
     my_blocks: &[(u32, u32)],
     blocks_per_sm: u32,
 ) -> SmStats {
+    // Same site as the predecoded engine: one probe per SM invocation.
+    crate::fault::poll(crate::fault::Site::SmStep);
+    let watchdog = crate::fault::watchdog_cycles();
+
     let mut stats = SmStats::default();
     let mut queue = my_blocks.iter().copied();
     let mut resident: Vec<Resident> = Vec::new();
@@ -78,6 +82,10 @@ pub fn run_sm_reference(
     let mut rr: usize = 0;
 
     loop {
+        if cycle >= watchdog {
+            stats.cycles = cycle;
+            crate::fault::watchdog_abort(&kernel.name, watchdog, cycle, stats.warp_instructions);
+        }
         // Retire completed blocks, refill from the queue.
         let mut i = 0;
         while i < resident.len() {

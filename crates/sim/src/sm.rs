@@ -173,6 +173,12 @@ pub fn run_sm(
     shared_uniform: bool,
     witness_out: Option<&mut Option<Vec<Vec<Ev>>>>,
 ) -> SmStats {
+    // One injection probe per SM invocation: enough for the soak harness to
+    // exercise the site at every launch without making the per-launch fault
+    // probability scale with grid size.
+    crate::fault::poll(crate::fault::Site::SmStep);
+    let watchdog = crate::fault::watchdog_cycles();
+
     let mut stats = SmStats::default();
     let mut next_block: usize = 0;
     let mut resident: Vec<Resident> = Vec::new();
@@ -225,6 +231,10 @@ pub fn run_sm(
     let mut check_retire = true;
 
     loop {
+        if cycle >= watchdog {
+            stats.cycles = cycle;
+            crate::fault::watchdog_abort(&kernel.name, watchdog, cycle, stats.warp_instructions);
+        }
         if check_retire {
             check_retire = false;
             // Retire completed blocks, refill from the queue.

