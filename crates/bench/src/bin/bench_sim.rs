@@ -40,11 +40,15 @@ struct Row {
     name: &'static str,
     reference_s: f64,
     predecoded_s: f64,
+    compiled_s: f64,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
         self.reference_s / self.predecoded_s
+    }
+    fn compiled_speedup(&self) -> f64 {
+        self.reference_s / self.compiled_s
     }
 }
 
@@ -69,30 +73,32 @@ fn time_engine(
 fn bench(name: &'static str, runs: usize, mut run: impl FnMut() -> KernelStats) -> Row {
     let (reference_s, ref_stats) = time_engine(Engine::Reference, runs, &mut run);
     let (predecoded_s, pre_stats) = time_engine(Engine::Predecoded, runs, &mut run);
-    assert_eq!(
-        (
-            ref_stats.cycles,
-            ref_stats.warp_instructions,
-            ref_stats.stall_cycles
-        ),
-        (
-            pre_stats.cycles,
-            pre_stats.warp_instructions,
-            pre_stats.stall_cycles
-        ),
-        "{name}: engines disagree on simulated timing"
-    );
+    let (compiled_s, com_stats) = time_engine(Engine::Compiled, runs, &mut run);
+    for (other, stats) in [("predecoded", &pre_stats), ("compiled", &com_stats)] {
+        assert_eq!(
+            (
+                ref_stats.cycles,
+                ref_stats.warp_instructions,
+                &ref_stats.stall_cycles
+            ),
+            (stats.cycles, stats.warp_instructions, &stats.stall_cycles),
+            "{name}: reference and {other} engines disagree on simulated timing"
+        );
+    }
     let row = Row {
         name,
         reference_s,
         predecoded_s,
+        compiled_s,
     };
     eprintln!(
-        "{:<24} reference {:>8.4}s  predecoded {:>8.4}s  speedup {:>5.2}x",
+        "{:<24} reference {:>8.4}s  predecoded {:>8.4}s ({:>5.2}x)  compiled {:>8.4}s ({:>5.2}x)",
         row.name,
         row.reference_s,
         row.predecoded_s,
-        row.speedup()
+        row.speedup(),
+        row.compiled_s,
+        row.compiled_speedup()
     );
     row
 }
@@ -155,6 +161,8 @@ struct RedundancyRow {
     optimized_s: f64,
     memo_hits: u64,
     memo_misses: u64,
+    dedup_fast_blocks: u64,
+    dedup_sim_blocks: u64,
 }
 
 impl RedundancyRow {
@@ -341,13 +349,62 @@ fn run() -> i32 {
     }));
 
     // The 12-application suite at test scale: app-level pool tasks whose
-    // inner launches nest on the same pool.
-    sweeps.push(bench_sweep("suite_small", runs, || {
+    // inner launches nest on the same pool. One extra repetition: the row
+    // guards a ≥1.0x floor with a true ratio near 1.1x, so its min needs
+    // more samples than the wide-margin rows to stay on the right side.
+    sweeps.push(bench_sweep("suite_small", runs + 1, || {
         suite::run_suite(suite::Scale::Small)
             .iter()
             .map(|r| r.stats.cycles)
             .fold(0u64, u64::wrapping_add)
     }));
+
+    // ---- compiled tier (region bytecode vs per-instruction dispatch) ----
+    // The compiled engine's headline: matmul 1024² tiled16u is dominated by
+    // long straight-line runs (the unrolled inner loop is ~48 eligible ops
+    // between branches), so hoisting functional execution to region entry
+    // must beat the predecoded per-instruction dispatch by 2x. Memo and
+    // dedup stay off — this row measures the execution engine alone.
+    let big = MatMul { n: 1024 };
+    let (big_a, big_b) = big.generate(42);
+    let tiled16u = Variant::Tiled {
+        tile: 16,
+        unroll: true,
+    };
+    let compiled_runs = if check { 1 } else { 2 };
+    let time_big = |e: Engine| {
+        set_engine(e);
+        let mut best = f64::INFINITY;
+        let mut stats = None;
+        for _ in 0..compiled_runs {
+            let t0 = Instant::now();
+            let s = big.run(tiled16u, &big_a, &big_b).1;
+            best = best.min(t0.elapsed().as_secs_f64());
+            stats = Some(s);
+        }
+        (best, stats.unwrap())
+    };
+    let (big_pre_s, big_pre_stats) = time_big(Engine::Predecoded);
+    let (big_com_s, big_com_stats) = time_big(Engine::Compiled);
+    set_engine(Engine::Predecoded);
+    assert_eq!(
+        (
+            big_pre_stats.cycles,
+            big_pre_stats.warp_instructions,
+            big_pre_stats.stall_cycles
+        ),
+        (
+            big_com_stats.cycles,
+            big_com_stats.warp_instructions,
+            big_com_stats.stall_cycles
+        ),
+        "matmul_1024_compiled: compiled engine changed simulated timing"
+    );
+    let compiled_speedup = big_pre_s / big_com_s;
+    eprintln!(
+        "{:<24} predecoded {:>7.4}s  compiled   {:>8.4}s  speedup {:>5.2}x",
+        "matmul_1024_compiled", big_pre_s, big_com_s, compiled_speedup
+    );
 
     // ---- redundancy elimination A/B (memo cache + block-class dedup) ----
     let mut redundancy = Vec::new();
@@ -356,18 +413,17 @@ fn run() -> i32 {
     // blocks that differ only by base address, so after the donor SM's
     // transient the remaining blocks replay functionally instead of
     // re-simulating. Memo stays off — this row measures dedup alone.
-    let big = MatMul { n: 1024 };
-    let (big_a, big_b) = big.generate(42);
-    let tiled16u = Variant::Tiled {
-        tile: 16,
-        unroll: true,
-    };
     // One timed run per arm: at ~30 s a run the workload is far above the
     // timer noise floor, and the predecode registry is process-wide so
     // neither arm pays a first-run penalty worth warming away.
     let dedup_runs = if check { 1 } else { 2 };
+    // Counter deltas over the timed arms, not literals: the row must report
+    // what the run actually did (memo stays off here, so a nonzero memo
+    // count would flag a harness bug; the dedup block split is the
+    // optimization's work product).
     let time_dedup = |d: Dedup| {
         set_dedup(d);
+        let before = memo_counters();
         let mut best = f64::INFINITY;
         let mut stats = None;
         for _ in 0..dedup_runs {
@@ -376,10 +432,10 @@ fn run() -> i32 {
             best = best.min(t0.elapsed().as_secs_f64());
             stats = Some(s);
         }
-        (best, stats.unwrap())
+        (best, stats.unwrap(), memo_counters(), before)
     };
-    let (dedup_off_s, off_stats) = time_dedup(Dedup::Off);
-    let (dedup_on_s, on_stats) = time_dedup(Dedup::On);
+    let (dedup_off_s, off_stats, _, _) = time_dedup(Dedup::Off);
+    let (dedup_on_s, on_stats, after, before) = time_dedup(Dedup::On);
     set_dedup(Dedup::Off);
     assert_eq!(
         (off_stats.cycles, off_stats.stall_cycles),
@@ -390,8 +446,10 @@ fn run() -> i32 {
         name: "matmul_1024_dedup",
         baseline_s: dedup_off_s,
         optimized_s: dedup_on_s,
-        memo_hits: 0,
-        memo_misses: 0,
+        memo_hits: after.hits - before.hits,
+        memo_misses: after.misses - before.misses,
+        dedup_fast_blocks: after.dedup_fast_blocks - before.dedup_fast_blocks,
+        dedup_sim_blocks: after.dedup_sim_blocks - before.dedup_sim_blocks,
     });
     eprintln!(
         "{:<24} dedup off {:>8.4}s  dedup on   {:>8.4}s  speedup {:>5.2}x",
@@ -493,6 +551,8 @@ fn run() -> i32 {
         optimized_s: revisit_on_s,
         memo_hits: rev_hits,
         memo_misses: rev_misses,
+        dedup_fast_blocks: 0, // dedup is off for this row by construction
+        dedup_sim_blocks: 0,
     });
     eprintln!(
         "{:<24} memo off  {:>8.4}s  memo on    {:>8.4}s  speedup {:>5.2}x  ({} hits / {} misses)",
@@ -515,7 +575,9 @@ fn run() -> i32 {
     // machine drift lands on both equally. Dedup stays on to match the
     // hot configuration this repo actually ships.
     set_dedup(Dedup::On);
-    let hard_runs = if check { 2 } else { 3 };
+    // Three arms even under --check: the row compares two ~7 s runs against
+    // a 2% ceiling, and a min-of-2 flaps on container timing noise alone.
+    let hard_runs = 3;
     let mut hardening_base_s = f64::INFINITY;
     let mut hardening_on_s = f64::INFINITY;
     let mut hardening_stats: Option<(KernelStats, KernelStats)> = None;
@@ -554,11 +616,13 @@ fn run() -> i32 {
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"reference_s\": {:.6}, \"predecoded_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"reference_s\": {:.6}, \"predecoded_s\": {:.6}, \"speedup\": {:.3}, \"compiled_s\": {:.6}, \"compiled_speedup\": {:.3}}}{}\n",
             r.name,
             r.reference_s,
             r.predecoded_s,
             r.speedup(),
+            r.compiled_s,
+            r.compiled_speedup(),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -573,16 +637,23 @@ fn run() -> i32 {
             if i + 1 < sweeps.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ],\n  \"redundancy\": [\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"compiled\": {{\"name\": \"matmul_1024_compiled\", \"predecoded_s\": {:.6}, \"compiled_s\": {:.6}, \"speedup\": {:.3}}},\n",
+        big_pre_s, big_com_s, compiled_speedup
+    ));
+    json.push_str("  \"redundancy\": [\n");
     for (i, r) in redundancy.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"baseline_s\": {:.6}, \"optimized_s\": {:.6}, \"speedup\": {:.3}, \"memo_hits\": {}, \"memo_misses\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"baseline_s\": {:.6}, \"optimized_s\": {:.6}, \"speedup\": {:.3}, \"memo_hits\": {}, \"memo_misses\": {}, \"dedup_fast_blocks\": {}, \"dedup_sim_blocks\": {}}}{}\n",
             r.name,
             r.baseline_s,
             r.optimized_s,
             r.speedup(),
             r.memo_hits,
             r.memo_misses,
+            r.dedup_fast_blocks,
+            r.dedup_sim_blocks,
             if i + 1 < redundancy.len() { "," } else { "" }
         ));
     }
@@ -613,6 +684,14 @@ fn run() -> i32 {
     };
     sweep_floor("tuner_fleet_16", 2.0);
     sweep_floor("probe_fleet_256", 3.0);
+    // The pooled executor may never lose to the spawn baseline, even on
+    // fleets of tiny nested launches (the caller-runs heuristic's contract).
+    sweep_floor("suite_small", 1.0);
+    if compiled_speedup < 2.0 {
+        missed.push(format!(
+            "matmul_1024_compiled speedup {compiled_speedup:.2}x is below the 2x floor"
+        ));
+    }
     let mut red_floor = |name: &str, floor: f64| {
         let s = redundancy
             .iter()

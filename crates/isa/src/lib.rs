@@ -39,6 +39,7 @@
 //! ```
 
 pub mod builder;
+pub mod compile;
 pub mod dataflow;
 pub mod decode;
 pub mod disasm;
@@ -52,6 +53,7 @@ pub mod regalloc;
 mod value;
 
 pub use builder::{BuildOptions, KernelBuilder, Unroll};
+pub use compile::CompiledKernel;
 pub use dataflow::TaintSummary;
 pub use decode::{DecodedKernel, IssueClass, MemKind, MicroOp};
 pub use inst::{

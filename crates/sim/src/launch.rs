@@ -27,13 +27,13 @@ use crate::pool;
 use crate::reference::run_sm_reference;
 use crate::sm::{run_sm, LaunchDims};
 use crate::witness::{replay_sm, Ev};
-use g80_isa::{DecodedKernel, Kernel, Value};
+use g80_isa::{CompiledKernel, DecodedKernel, Kernel, Value};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
-/// Which timing-engine implementation [`launch`] uses. Both produce
+/// Which timing-engine implementation [`launch`] uses. All three produce
 /// bit-identical [`KernelStats`]; they differ only in host-side speed.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Engine {
@@ -43,21 +43,42 @@ pub enum Engine {
     /// [`crate::reference`] as the executable spec for equivalence testing
     /// and as the "before" side of host-performance benchmarks.
     Reference,
+    /// The predecoded engine plus per-kernel straight-line regions lowered
+    /// at predecode time ([`g80_isa::compile`]): a region's functional
+    /// effects run in one pre-bound pass when its first instruction issues,
+    /// and the interior instructions pay timing-only steps with no `Inst`
+    /// dispatch at all. Scheduling, coalescing, and bank-conflict timing
+    /// are untouched.
+    Compiled,
 }
 
+// 0 = unresolved (read G80_SIM_ENGINE on first use), else Engine + 1.
 static ENGINE: AtomicU8 = AtomicU8::new(0);
 
 /// Selects the engine used by subsequent [`launch`] calls (process-wide).
-/// Intended for A/B equivalence tests and benchmarks; production callers
-/// should leave the default.
+/// Overrides the `G80_SIM_ENGINE` environment variable. Intended for A/B
+/// equivalence tests and benchmarks; production callers should leave the
+/// default.
 pub fn set_engine(e: Engine) {
-    ENGINE.store(e as u8, Ordering::SeqCst);
+    ENGINE.store(e as u8 + 1, Ordering::SeqCst);
 }
 
-/// The engine currently selected for [`launch`].
+/// The engine currently selected for [`launch`]
+/// (`G80_SIM_ENGINE=reference|compiled` overrides the default).
 pub fn engine() -> Engine {
     match ENGINE.load(Ordering::SeqCst) {
-        1 => Engine::Reference,
+        0 => {
+            let e = match std::env::var("G80_SIM_ENGINE").as_deref() {
+                Ok("reference") => Engine::Reference,
+                Ok("compiled") => Engine::Compiled,
+                _ => Engine::Predecoded,
+            };
+            // Racing first reads resolve to the same value.
+            ENGINE.store(e as u8 + 1, Ordering::SeqCst);
+            e
+        }
+        2 => Engine::Reference,
+        3 => Engine::Compiled,
         _ => Engine::Predecoded,
     }
 }
@@ -259,6 +280,26 @@ fn assign_blocks(cfg: &GpuConfig, dims: LaunchDims) -> Vec<Vec<(u32, u32)>> {
     per_sm_blocks
 }
 
+/// The per-kernel artifacts the non-reference engines consume: the decoded
+/// micro-op table, plus (compiled engine only) the lowered regions. Both
+/// come out of the same [`memo::kernel_info`] registry entry.
+#[derive(Copy, Clone)]
+struct EngineKernel<'a> {
+    decoded: &'a DecodedKernel,
+    compiled: Option<&'a CompiledKernel>,
+}
+
+impl<'a> EngineKernel<'a> {
+    /// The engine artifacts for `info` under the currently selected engine;
+    /// `None` means the reference engine runs.
+    fn select(eng: Engine, info: Option<&'a memo::KernelInfo>) -> Option<Self> {
+        info.map(|i| EngineKernel {
+            decoded: &i.decoded,
+            compiled: (eng == Engine::Compiled).then_some(&i.compiled),
+        })
+    }
+}
+
 /// A validated launch, ready to have its SM tasks executed.
 struct Prepared<'a> {
     spec: LaunchSpec<'a>,
@@ -270,7 +311,7 @@ impl<'a> Prepared<'a> {
     /// Simulates one SM of this launch.
     fn run_sm(
         &self,
-        decoded: Option<&DecodedKernel>,
+        ek: Option<EngineKernel>,
         blocks: &[(u32, u32)],
         cfg: &GpuConfig,
         dedup: bool,
@@ -278,11 +319,12 @@ impl<'a> Prepared<'a> {
         witness_out: Option<&mut Option<Vec<Vec<Ev>>>>,
     ) -> SmStats {
         let s = &self.spec;
-        match decoded {
-            Some(d) => run_sm(
+        match ek {
+            Some(e) => run_sm(
                 cfg,
                 s.kernel,
-                d,
+                e.decoded,
+                e.compiled,
                 &s.dims,
                 s.params,
                 s.mem,
@@ -313,7 +355,7 @@ impl<'a> Prepared<'a> {
     fn reuse_or_run_sm(
         &self,
         cfg: &GpuConfig,
-        decoded: &DecodedKernel,
+        ek: EngineKernel,
         shared_uniform: bool,
         blocks: &[(u32, u32)],
         donor_len: usize,
@@ -330,7 +372,7 @@ impl<'a> Prepared<'a> {
                 if replay_sm(
                     cfg,
                     s.kernel,
-                    decoded,
+                    ek.decoded,
                     &s.dims,
                     s.params,
                     s.mem,
@@ -345,7 +387,7 @@ impl<'a> Prepared<'a> {
                 memo::count_dedup_fallback();
             }
         }
-        self.run_sm(Some(decoded), blocks, cfg, true, shared_uniform, None)
+        self.run_sm(Some(ek), blocks, cfg, true, shared_uniform, None)
     }
 
     fn merge(&self, cfg: &GpuConfig, results: Vec<SmStats>) -> KernelStats {
@@ -474,21 +516,22 @@ fn launch_once(
     // Predecode (and dataflow-analyze) once per process per kernel content.
     // Decode can unwind (injected isa.decode fault); that costs this launch
     // only.
-    let info = match engine() {
-        Engine::Predecoded => Some(
+    let eng = engine();
+    let info = match eng {
+        Engine::Reference => None,
+        _ => Some(
             catch_unwind(AssertUnwindSafe(|| memo::kernel_info(spec.kernel)))
                 .map_err(classify_panic)?,
         ),
-        Engine::Reference => None,
     };
-    let decoded = info.as_deref().map(|i| &i.decoded);
+    let ek = EngineKernel::select(eng, info.as_deref());
     let dedup =
         memo::dedup() == memo::Dedup::On && info.as_deref().is_some_and(|i| i.dedup_eligible);
     let shared_uniform = info.as_deref().is_some_and(|i| i.shared_uniform);
 
     let results = match executor() {
-        Executor::Pooled => run_sms_pooled(cfg, &prepared, decoded, dedup, shared_uniform)?,
-        Executor::SpawnPerLaunch => run_sms_spawn(cfg, &prepared, decoded, dedup, shared_uniform)?,
+        Executor::Pooled => run_sms_pooled(cfg, &prepared, ek, dedup, shared_uniform)?,
+        Executor::SpawnPerLaunch => run_sms_spawn(cfg, &prepared, ek, dedup, shared_uniform)?,
     };
     let stats = prepared.merge(cfg, results);
     if let memo::MemoLookup::Miss(pending) = lookup {
@@ -522,6 +565,32 @@ fn collect_sm_results(
     }
 }
 
+/// Below this many simulated threads in the whole grid, the per-SM tasks of
+/// a pooled launch run serially on the caller thread instead of through the
+/// pool. A launch this small simulates in well under a millisecond per SM,
+/// so the pool's queue lock and condvar wakeups cost more than the work —
+/// and when the caller is itself a pool task (an application job whose
+/// inner launches nest on the same pool, as in the benchmark suite), those
+/// queue operations contend with every sibling job's. SM simulations are
+/// independent, so running them serially on the caller is bit-identical.
+const CALLER_RUNS_THREADS: u64 = 8192;
+
+/// Runs per-SM closures through the pool, or serially on the caller for
+/// launches under the [`CALLER_RUNS_THREADS`] floor, preserving
+/// [`pool::try_run_tasks`]'s per-slot panic isolation either way.
+fn run_sm_tasks<F>(small: bool, fns: Vec<F>) -> Vec<Result<SmStats, pool::TaskPanic>>
+where
+    F: FnOnce() -> SmStats + Send,
+{
+    if small {
+        fns.into_iter()
+            .map(|f| catch_unwind(AssertUnwindSafe(f)).map_err(pool::TaskPanic))
+            .collect()
+    } else {
+        pool::try_run_tasks(fns)
+    }
+}
+
 /// Default path: one pool task per SM *with work to do*. An empty SM's
 /// simulation is the empty `SmStats` (it never enters the scheduler loop),
 /// so skipping it is bit-identical and a small grid costs a handful of
@@ -529,7 +598,7 @@ fn collect_sm_results(
 fn run_sms_pooled(
     cfg: &GpuConfig,
     prepared: &Prepared,
-    decoded: Option<&DecodedKernel>,
+    ek: Option<EngineKernel>,
     dedup: bool,
     shared_uniform: bool,
 ) -> Result<Vec<SmStats>, LaunchError> {
@@ -540,31 +609,27 @@ fn run_sms_pooled(
         .filter(|(_, blocks)| !blocks.is_empty())
         .collect();
     let mut results: Vec<SmStats> = vec![SmStats::default(); cfg.num_sms as usize];
+    let small = prepared.spec.dims.total_blocks() * prepared.spec.dims.threads_per_block() as u64
+        <= CALLER_RUNS_THREADS;
 
     // Donor-SM reuse: the first SM runs to completion on the caller thread,
     // exporting its verified witness streams. Every other SM with an
     // equally-long block queue evolves identically (same deterministic
     // computation once its blocks are verified class-identical), so it
     // replays functionally and adopts the donor's stats.
-    if let (true, Some(d)) = (dedup && busy.len() > 1, decoded) {
+    if let (true, Some(d)) = (dedup && busy.len() > 1, ek) {
         let (donor_sm, donor_blocks) = busy[0];
         let mut rep: Option<Vec<Vec<Ev>>> = None;
         let donor_stats = catch_unwind(AssertUnwindSafe(|| {
-            prepared.run_sm(
-                decoded,
-                donor_blocks,
-                cfg,
-                true,
-                shared_uniform,
-                Some(&mut rep),
-            )
+            prepared.run_sm(ek, donor_blocks, cfg, true, shared_uniform, Some(&mut rep))
         }))
         .map_err(classify_panic)?;
         let rep = rep; // frozen for shared capture below
         let donor_len = donor_blocks.len();
         let donor_ref = &donor_stats;
         let rep_ref = rep.as_deref();
-        let partial = collect_sm_results(pool::try_run_tasks(
+        let partial = collect_sm_results(run_sm_tasks(
+            small,
             busy[1..]
                 .iter()
                 .map(|&(_, blocks)| {
@@ -589,10 +654,11 @@ fn run_sms_pooled(
         return Ok(results);
     }
 
-    let partial = collect_sm_results(pool::try_run_tasks(
+    let partial = collect_sm_results(run_sm_tasks(
+        small,
         busy.iter()
             .map(|&(_, blocks)| {
-                move || prepared.run_sm(decoded, blocks, cfg, dedup, shared_uniform, None)
+                move || prepared.run_sm(ek, blocks, cfg, dedup, shared_uniform, None)
             })
             .collect(),
     ))?;
@@ -608,7 +674,7 @@ fn run_sms_pooled(
 fn run_sms_spawn(
     cfg: &GpuConfig,
     prepared: &Prepared,
-    decoded: Option<&DecodedKernel>,
+    ek: Option<EngineKernel>,
     dedup: bool,
     shared_uniform: bool,
 ) -> Result<Vec<SmStats>, LaunchError> {
@@ -619,9 +685,7 @@ fn run_sms_spawn(
             .per_sm_blocks
             .iter()
             .map(|blocks| {
-                scope.spawn(move || {
-                    prepared.run_sm(decoded, blocks, cfg, dedup, shared_uniform, None)
-                })
+                scope.spawn(move || prepared.run_sm(ek, blocks, cfg, dedup, shared_uniform, None))
             })
             .collect();
         for h in handles {
@@ -740,11 +804,13 @@ fn launch_batch_once(
     // *process*, shared across batches and with plain `launch` calls. A
     // decode unwind (injected isa.decode fault) fails only the specs that
     // use that kernel.
+    let eng = engine();
     let infos: Vec<Option<Arc<memo::KernelInfo>>> = prepared
         .iter()
         .enumerate()
-        .map(|(si, p)| match (engine(), p) {
-            (Engine::Predecoded, Ok(p)) => {
+        .map(|(si, p)| match (eng, p) {
+            (Engine::Reference, _) | (_, Err(_)) => None,
+            (_, Ok(p)) => {
                 match catch_unwind(AssertUnwindSafe(|| memo::kernel_info(p.spec.kernel))) {
                     Ok(info) => Some(info),
                     Err(e) => {
@@ -753,7 +819,6 @@ fn launch_batch_once(
                     }
                 }
             }
-            _ => None,
         })
         .collect();
 
@@ -794,7 +859,7 @@ fn launch_batch_once(
         if hit_stats[si].is_some() || per_spec_err[si].is_some() {
             continue;
         }
-        let d = infos[si].as_deref().map(|i| &i.decoded);
+        let ek = EngineKernel::select(eng, infos[si].as_deref());
         let dedup = dedup_on && infos[si].as_deref().is_some_and(|i| i.dedup_eligible);
         let su = infos[si].as_deref().is_some_and(|i| i.shared_uniform);
         for (sm, blocks) in p.per_sm_blocks.iter().enumerate() {
@@ -802,7 +867,7 @@ fn launch_batch_once(
                 continue;
             }
             owners.push((si, sm));
-            tasks.push(Box::new(move || p.run_sm(d, blocks, cfg, dedup, su, None)));
+            tasks.push(Box::new(move || p.run_sm(ek, blocks, cfg, dedup, su, None)));
         }
     }
     let flat = pool::try_run_tasks(tasks);

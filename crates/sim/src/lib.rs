@@ -55,6 +55,7 @@
 //! assert_eq!(stats.coalesced_half_warps, 2 * 64); // 1 ld + 1 st per half-warp
 //! ```
 
+mod compiled;
 pub mod config;
 pub mod counters;
 pub mod error;

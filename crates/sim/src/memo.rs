@@ -26,7 +26,7 @@ use crate::fault::{self, lock_recover};
 use crate::memory::DeviceMemory;
 use crate::sm::LaunchDims;
 use g80_isa::dataflow::{self, TaintSummary};
-use g80_isa::{DecodedKernel, Kernel, Value};
+use g80_isa::{CompiledKernel, DecodedKernel, Kernel, Value};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -258,6 +258,11 @@ fn code_hash(code: &[g80_isa::Inst]) -> (u64, u64) {
 pub struct KernelInfo {
     /// Micro-op table for the predecoded engine.
     pub decoded: DecodedKernel,
+    /// Straight-line regions lowered for the compiled engine
+    /// ([`g80_isa::compile`]). Cheap to build (one pass over the code), so
+    /// it is computed eagerly alongside the decode and shared process-wide
+    /// like everything else in this registry.
+    pub compiled: CompiledKernel,
     /// Dataflow facts from [`g80_isa::dataflow::analyze`].
     pub taint: TaintSummary,
     /// Whether block-class dedup may engage: timing is data-independent and
@@ -314,6 +319,7 @@ pub fn kernel_info(kernel: &Kernel) -> Arc<KernelInfo> {
         && !kernel.code.is_empty();
     let info = Arc::new(KernelInfo {
         decoded: DecodedKernel::new(kernel),
+        compiled: CompiledKernel::new(kernel),
         taint,
         dedup_eligible,
         shared_uniform: !taint.ctaid_shared_addr,
@@ -527,11 +533,12 @@ fn memo_key(
 }
 
 /// Encodes the active engine/executor/dedup toggles into the key's mode byte.
+/// The engine discriminant takes two bits (three engines exist).
 fn current_mode() -> u8 {
     let engine = crate::launch::engine() as u8;
     let executor = crate::launch::executor() as u8;
     let dedup = (dedup() == Dedup::Off) as u8;
-    engine | (executor << 1) | (dedup << 2)
+    engine | (executor << 2) | (dedup << 3)
 }
 
 /// Probes the memo cache for this launch. On a hit the recorded memory

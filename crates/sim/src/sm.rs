@@ -51,7 +51,8 @@ use crate::memory::{
 };
 use crate::warp::{RegSource, Warp};
 use crate::witness::{half_sig, replay_block, Ev, WitnessRecorder, WriteBuf};
-use g80_isa::decode::{DecodedKernel, IssueClass, MicroOp};
+use g80_isa::compile::{CompiledKernel, Step};
+use g80_isa::decode::{DecodedKernel, IssueClass, MemKind, MicroOp, NO_REG};
 use g80_isa::exec;
 use g80_isa::inst::{Inst, InstClass, Operand, Space};
 use g80_isa::{Kernel, Value};
@@ -164,6 +165,7 @@ pub fn run_sm(
     cfg: &GpuConfig,
     kernel: &Kernel,
     decoded: &DecodedKernel,
+    compiled: Option<&CompiledKernel>,
     dims: &LaunchDims,
     params: &[Value],
     mem: &DeviceMemory,
@@ -463,24 +465,53 @@ pub fn run_sm(
                 let mop = &decoded.ops[pc];
                 let pre_mask = warp.active_mask();
                 let record = recorder.as_ref().is_some_and(|r| r.valid);
-                let mut ctx = ExecCtx {
-                    cfg,
-                    kernel,
-                    params,
-                    mem,
-                    stats: &mut stats,
-                    chan_free: &mut chan_free,
-                    const_cache: &mut const_cache,
-                    tex_cache: &mut tex_cache,
-                    scratch: &mut scratch,
-                    class_counts: &mut class_counts,
-                    cycle,
-                    record,
-                    ev_aux: 0,
-                    ev_bytes: 0,
+                let step = compiled.map_or(Step::Interp, |c| c.step(pc));
+                let (dur, ev_aux, ev_bytes) = match step {
+                    Step::Enter(ri) => {
+                        // First instruction of a compiled region: run the
+                        // whole region's functional effects (and precompute
+                        // each op's timing aux), then charge this
+                        // instruction's timing.
+                        let (region, _) = compiled.unwrap().region_at(ri, pc);
+                        let (warps, smem) = (&mut block.warps, &mut block.smem);
+                        let warp = &mut warps[wi];
+                        crate::compiled::run_region(region, warp, smem, params, &kernel.name, cfg);
+                        let aux = warp.region_aux[0];
+                        let dur =
+                            timed_step(cfg, warp, mop, aux, cycle, &mut stats, &mut class_counts);
+                        (dur, aux, 0)
+                    }
+                    Step::Timed(ri) => {
+                        // Interior of a compiled region: the functional work
+                        // already ran at entry; timing only.
+                        let (_, off) = compiled.unwrap().region_at(ri, pc);
+                        let warp = &mut block.warps[wi];
+                        let aux = warp.region_aux[off];
+                        let dur =
+                            timed_step(cfg, warp, mop, aux, cycle, &mut stats, &mut class_counts);
+                        (dur, aux, 0)
+                    }
+                    Step::Interp => {
+                        let mut ctx = ExecCtx {
+                            cfg,
+                            kernel,
+                            params,
+                            mem,
+                            stats: &mut stats,
+                            chan_free: &mut chan_free,
+                            const_cache: &mut const_cache,
+                            tex_cache: &mut tex_cache,
+                            scratch: &mut scratch,
+                            class_counts: &mut class_counts,
+                            cycle,
+                            record,
+                            ev_aux: 0,
+                            ev_bytes: 0,
+                        };
+                        let dur = ctx.execute(block, wi, mop);
+                        (dur, ctx.ev_aux, ctx.ev_bytes)
+                    }
                 };
-                let dur = ctx.execute(block, wi, mop);
-                let (ev_aux, ev_bytes) = (ctx.ev_aux, ctx.ev_bytes);
                 cycle += dur;
                 rr = (rr + k + 1) % n;
                 issued = true;
@@ -569,6 +600,60 @@ pub fn run_sm(
         *out = rec.take_verified();
     }
     stats
+}
+
+/// The compiled engine's per-instruction timing step: statistics, scoreboard
+/// update, pc advance, and issue-port occupancy for an instruction whose
+/// functional effects already ran at region entry
+/// ([`crate::compiled::run_region`]). Must mirror the timing arms of
+/// [`ExecCtx::execute`] exactly — `golden_stats` asserts bit-identical
+/// [`crate::KernelStats`] across engines. `aux` is the precomputed
+/// shared-memory bank-conflict degree (0 for pure ops).
+#[inline]
+fn timed_step(
+    cfg: &GpuConfig,
+    warp: &mut Warp,
+    mop: &MicroOp,
+    aux: u32,
+    cycle: u64,
+    stats: &mut SmStats,
+    class_counts: &mut [u64; InstClass::COUNT],
+) -> u64 {
+    let lanes = warp.active_mask().count_ones();
+    stats.warp_instructions += 1;
+    stats.thread_instructions += lanes as u64;
+    stats.flops += mop.flops as u64 * lanes as u64;
+    class_counts[mop.class.index()] += 1;
+    let dur = match mop.mem {
+        Some(MemKind::Load(Space::Shared)) => {
+            let extra = cfg.issue_cycles * (aux as u64 - 1);
+            stats.smem_conflict_extra_cycles += extra;
+            warp.reg_ready[mop.dst as usize] = cycle + cfg.smem_latency + extra;
+            warp.reg_source[mop.dst as usize] = RegSource::Alu;
+            cfg.issue_cycles + extra
+        }
+        Some(MemKind::Store(Space::Shared)) => {
+            let extra = cfg.issue_cycles * (aux as u64 - 1);
+            stats.smem_conflict_extra_cycles += extra;
+            cfg.issue_cycles + extra
+        }
+        _ => {
+            // A pure op: exactly one register row write, scoreboarded at
+            // ALU (or SFU) latency.
+            let (done, occupancy) = match mop.issue {
+                IssueClass::Sfu => (cycle + cfg.sfu_latency, cfg.sfu_issue_cycles),
+                IssueClass::Imul => (cycle + cfg.alu_latency, cfg.imul_issue_cycles),
+                IssueClass::Normal => (cycle + cfg.alu_latency, cfg.issue_cycles),
+            };
+            if mop.dst != NO_REG {
+                warp.reg_ready[mop.dst as usize] = done;
+                warp.reg_source[mop.dst as usize] = RegSource::Alu;
+            }
+            occupancy
+        }
+    };
+    warp.advance();
+    dur
 }
 
 /// Maps a stall reason to a stable snapshot code.

@@ -44,6 +44,11 @@ pub struct Warp {
     pub reg_source: Vec<RegSource>,
     /// Per-lane local (spill) memory, lazily grown, word-indexed.
     pub local: Vec<Vec<Value>>,
+    /// Compiled-engine scratch: one timing-aux word (shared-memory
+    /// bank-conflict degree; 0 for pure ops) per instruction of the region
+    /// this warp most recently entered, filled at region entry and consumed
+    /// by the interior timing-only steps. Unused by the other engines.
+    pub region_aux: Vec<u32>,
     /// Lanes that exist (partial warps at the end of a block have fewer).
     pub init_mask: u32,
     /// Parked at a barrier, waiting for the rest of the block.
@@ -97,6 +102,7 @@ impl Warp {
             reg_ready: vec![0; nregs as usize],
             reg_source: vec![RegSource::Alu; nregs as usize],
             local: vec![Vec::new(); 32],
+            region_aux: Vec::new(),
             init_mask: mask,
             at_barrier: false,
             resume_at: 0,

@@ -141,6 +141,7 @@ fn fault_injection_and_degradation() {
     pool_respawns_dead_workers(&cfg);
     memo_corruption_is_detected_and_resimulated(&cfg);
     soak_every_site_both_kinds(&cfg);
+    compiled_engine_degrades_identically(&cfg);
 
     // ---- degradation contract: disarmed re-run is bit-identical ----
     disarm_all();
@@ -158,7 +159,7 @@ fn watchdog_aborts_runaway_kernels(cfg: &GpuConfig) {
     disarm_all();
     let spin = spin_kernel();
     const BUDGET: u64 = 50_000;
-    for engine in [Engine::Predecoded, Engine::Reference] {
+    for engine in [Engine::Predecoded, Engine::Reference, Engine::Compiled] {
         for exec in [Executor::Pooled, Executor::SpawnPerLaunch] {
             set_engine(engine);
             set_executor(exec);
@@ -394,6 +395,70 @@ fn memo_corruption_is_detected_and_resimulated(cfg: &GpuConfig) {
     set_faults(None);
     assert_eq!(fourth.cycles, first.cycles);
     assert_eq!(output_words(&m4, N), output_words(&m1, N));
+    disarm_all();
+}
+
+/// The compiled engine rides the same degradation machinery: the decode and
+/// sm.step fault sites still fire while regions execute through the lowered
+/// evaluator, every surfaced error is injected-class, and a disarmed re-run
+/// reproduces the compiled golden stats and memory bit for bit.
+fn compiled_engine_degrades_identically(cfg: &GpuConfig) {
+    disarm_all();
+    set_engine(Engine::Compiled);
+    set_memo(Memo::Off); // every launch must simulate and poll sm.step
+    const N: u32 = 512;
+    let k = scale_kernel(21, 29);
+    let golden_mem = fresh_input(N);
+    let golden = run_scale(cfg, &k, &golden_mem, N);
+    let golden_out = output_words(&golden_mem, N);
+
+    fault::set_retry(false);
+    let mut injected_errs = 0u64;
+    let (decode_before, sm_before) = (fault::raised(Site::Decode), fault::raised(Site::SmStep));
+    for (seed, kind) in [(41u64, FaultKind::Typed), (43, FaultKind::Panic)] {
+        set_faults(Some(
+            FaultConfig::new(seed, 0.15, Some(kind))
+                .only(Site::Decode)
+                .also(Site::SmStep),
+        ));
+        for iter in 0..24u32 {
+            // Distinct content per iteration: each pays a fresh decode.
+            let ki = scale_kernel(21, 1 << 20 | iter << 1 | (kind as u32 & 1));
+            let mem = fresh_input(N);
+            match try_run_scale(cfg, &ki, &mem, N) {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(e.is_injected(), "compiled tier leaked a real error: {e}");
+                    injected_errs += 1;
+                }
+            }
+        }
+        set_faults(None);
+    }
+    fault::set_retry(true);
+    assert!(
+        injected_errs > 0,
+        "no fault surfaced under the compiled tier"
+    );
+    assert!(
+        fault::raised(Site::Decode) > decode_before,
+        "isa.decode never fired under the compiled tier"
+    );
+    assert!(
+        fault::raised(Site::SmStep) > sm_before,
+        "sm.step never fired under the compiled tier"
+    );
+
+    // Disarmed, the compiled tier still reproduces its golden run exactly.
+    let mem = fresh_input(N);
+    let again = run_scale(cfg, &k, &mem, N);
+    assert_eq!(
+        golden.cycles, again.cycles,
+        "compiled golden cycles drifted"
+    );
+    assert_eq!(golden.warp_instructions, again.warp_instructions);
+    assert_eq!(golden.stall_cycles, again.stall_cycles);
+    assert_eq!(golden_out, output_words(&mem, N));
     disarm_all();
 }
 

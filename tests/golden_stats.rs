@@ -1,16 +1,17 @@
-//! Golden-stats equivalence: the predecoded engine must be a pure host-side
-//! optimization. Every workload here runs twice — once on the frozen
-//! reference engine (`g80_sim::reference`), once on the predecoded engine
-//! (`g80_sim::sm`) — and the resulting [`KernelStats`] must match
+//! Golden-stats equivalence: the predecoded and compiled engines must be
+//! pure host-side optimizations. Every workload here runs on the frozen
+//! reference engine (`g80_sim::reference`), the predecoded engine
+//! (`g80_sim::sm`), and the compiled region engine
+//! (`g80_sim::compiled`) — and the resulting [`KernelStats`] must match
 //! **field for field, bit for bit**: cycles, stall attribution, traffic
 //! counters, everything. A single diverging counter means the optimization
 //! changed simulated timing and is a bug.
 //!
 //! The same contract covers the executor axis: the pooled work-stealing
 //! executor must produce stats bit-identical to the frozen per-launch
-//! `thread::scope` spawn baseline, so every workload also runs once under
-//! `Executor::SpawnPerLaunch` and once under `Executor::Pooled` (both on
-//! the predecoded engine).
+//! `thread::scope` spawn baseline, so every workload also runs under
+//! `Executor::SpawnPerLaunch` and `Executor::Pooled`, crossed with the
+//! dedup and memo axes, on both optimized engines.
 //!
 //! The engine/executor selectors are process-global, so all workloads run
 //! inside one `#[test]` (the default parallel test runner would otherwise
@@ -76,9 +77,10 @@ fn assert_stats_identical(label: &str, a: &KernelStats, b: &KernelStats) {
     );
 }
 
-/// Runs the workload on both engines, both executors, with and without
-/// block-class dedup, and cold/warm through the launch memo cache — the
-/// stats must be bit-identical across every axis.
+/// Runs the workload on all three engines, then crosses the two optimized
+/// engines with both executors, block-class dedup on/off, and cold/warm
+/// through the launch memo cache — the stats must be bit-identical across
+/// every axis.
 fn check(label: &str, mut run: impl FnMut() -> KernelStats) {
     // Equivalence axes must each be isolated: engine/executor runs compare
     // real simulations, not cache replays.
@@ -91,30 +93,44 @@ fn check(label: &str, mut run: impl FnMut() -> KernelStats) {
     let predecoded = run();
     assert_stats_identical(label, &reference, &predecoded);
 
-    // Executor axis, on the (default) predecoded engine.
-    set_executor(Executor::SpawnPerLaunch);
-    let spawned = run();
-    set_executor(Executor::Pooled);
-    let pooled = run();
-    assert_stats_identical(&format!("{label} [executor]"), &spawned, &pooled);
+    // Compiled engine: straight-line regions execute through the lowered
+    // bytecode evaluator, interior instructions through timing-only steps —
+    // and every counter must still match the reference bit for bit.
+    set_engine(Engine::Compiled);
+    let compiled = run();
+    assert_stats_identical(&format!("{label} [compiled]"), &reference, &compiled);
 
-    // Dedup axis: block-class dedup (and donor-SM reuse) engages only where
-    // the witness machinery proves equivalence, so on *every* workload the
-    // stats must be bit-identical to the plain run.
-    set_dedup(Dedup::On);
-    let deduped = run();
-    assert_stats_identical(&format!("{label} [dedup]"), &pooled, &deduped);
+    // Engine × executor × dedup × memo cross, on both optimized engines.
+    for engine in [Engine::Predecoded, Engine::Compiled] {
+        set_engine(engine);
+        let tag = format!("{label} {engine:?}");
 
-    // Memo axis: a cold run records, a warm run replays from the cache —
-    // both must match the uncached stats bit for bit.
-    set_memo(Memo::On);
-    clear_memo_cache();
-    let cold = run();
-    assert_stats_identical(&format!("{label} [memo cold]"), &deduped, &cold);
-    let warm = run();
-    assert_stats_identical(&format!("{label} [memo warm]"), &cold, &warm);
-    set_memo(Memo::Off);
-    set_dedup(Dedup::Off);
+        // Executor axis.
+        set_executor(Executor::SpawnPerLaunch);
+        let spawned = run();
+        set_executor(Executor::Pooled);
+        let pooled = run();
+        assert_stats_identical(&format!("{tag} [executor]"), &spawned, &pooled);
+
+        // Dedup axis: block-class dedup (and donor-SM reuse) engages only
+        // where the witness machinery proves equivalence, so on *every*
+        // workload the stats must be bit-identical to the plain run.
+        set_dedup(Dedup::On);
+        let deduped = run();
+        assert_stats_identical(&format!("{tag} [dedup]"), &pooled, &deduped);
+
+        // Memo axis: a cold run records, a warm run replays from the cache —
+        // both must match the uncached stats bit for bit.
+        set_memo(Memo::On);
+        clear_memo_cache();
+        let cold = run();
+        assert_stats_identical(&format!("{tag} [memo cold]"), &deduped, &cold);
+        let warm = run();
+        assert_stats_identical(&format!("{tag} [memo warm]"), &cold, &warm);
+        set_memo(Memo::Off);
+        set_dedup(Dedup::Off);
+    }
+    set_engine(Engine::Predecoded);
 }
 
 #[test]
