@@ -194,6 +194,7 @@ mod tests {
                 launches: 1,
                 kernel_cycles: 0,
                 memo_hits: 0,
+                disk_hits: 0,
             },
             cpu_kernel_s: 100.0,
             kernel_cpu_fraction: 0.5,

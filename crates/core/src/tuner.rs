@@ -31,14 +31,25 @@ pub struct SweepResult<C> {
     pub samples: Vec<Sample<C>>,
     /// Index of the best sample.
     pub best: usize,
-    /// Launch-memo-cache hits observed while this sweep ran. A fleet that
-    /// revisits configurations pays simulation only for the misses; the hit
-    /// rate is what makes the revisit speedup auditable. Measured as the
-    /// delta of the process-wide [`g80_sim::memo_counters`], so concurrent
-    /// launches outside the sweep are attributed to it as well.
+    /// In-process launch-memo-cache hits observed while this sweep ran. A
+    /// fleet that revisits configurations pays simulation only for the
+    /// misses; the hit rate is what makes the revisit speedup auditable.
+    /// Measured as the delta of the process-wide [`g80_sim::memo_counters`],
+    /// so concurrent launches outside the sweep are attributed to it as
+    /// well.
     pub memo_hits: u64,
-    /// Launch-memo-cache misses observed while this sweep ran.
+    /// Launch-memo-cache misses observed while this sweep ran (launches
+    /// that simulated).
     pub memo_misses: u64,
+    /// Launches served by the persistent disk cache tier
+    /// ([`g80_sim::set_disk_cache`]) while this sweep ran — replayed from a
+    /// prior process without simulating.
+    pub disk_hits: u64,
+    /// Disk-tier probes during this sweep that found no usable entry.
+    pub disk_misses: u64,
+    /// Disk-tier entries evicted during this sweep (corruption, version
+    /// skew, or byte-budget compaction).
+    pub disk_evictions: u64,
 }
 
 impl<C> SweepResult<C> {
@@ -48,17 +59,19 @@ impl<C> SweepResult<C> {
     /// [`g80_sim::memo_counters`] around the evaluation to attribute it.
     pub fn from_samples(samples: Vec<Sample<C>>) -> Self {
         assert!(!samples.is_empty(), "empty configuration space");
-        finish(samples, 0, 0)
+        finish(samples, g80_sim::MemoCounters::default())
     }
 
-    /// Memo-cache hit fraction over this sweep's launches (0 when nothing
-    /// was probed — e.g. the cache is disabled).
+    /// Cache hit fraction over this sweep's launches, counting both the
+    /// in-process memo and the disk tier (0 when nothing was probed — e.g.
+    /// the cache is disabled).
     pub fn memo_hit_rate(&self) -> f64 {
-        let total = self.memo_hits + self.memo_misses;
+        let served = self.memo_hits + self.disk_hits;
+        let total = served + self.memo_misses;
         if total == 0 {
             0.0
         } else {
-            self.memo_hits as f64 / total as f64
+            served as f64 / total as f64
         }
     }
 
@@ -77,7 +90,7 @@ impl<C> SweepResult<C> {
 /// Evaluates every configuration sequentially.
 pub fn sweep<C: Clone>(configs: &[C], mut eval: impl FnMut(&C) -> KernelStats) -> SweepResult<C> {
     assert!(!configs.is_empty(), "empty configuration space");
-    let (samples, hits, misses) = with_memo_delta(|| {
+    let (samples, delta) = with_memo_delta(|| {
         configs
             .iter()
             .map(|c| Sample {
@@ -86,7 +99,7 @@ pub fn sweep<C: Clone>(configs: &[C], mut eval: impl FnMut(&C) -> KernelStats) -
             })
             .collect()
     });
-    finish(samples, hits, misses)
+    finish(samples, delta)
 }
 
 /// Evaluates every configuration in parallel on the shared simulation
@@ -100,7 +113,7 @@ pub fn sweep_parallel<C: Clone + Send + Sync>(
 ) -> SweepResult<C> {
     assert!(!configs.is_empty(), "empty configuration space");
     let eval = &eval;
-    let (stats, hits, misses) = with_memo_delta(|| {
+    let (stats, delta) = with_memo_delta(|| {
         g80_sim::pool::run_tasks(configs.iter().map(|c| move || eval(c)).collect())
     });
     finish(
@@ -112,8 +125,7 @@ pub fn sweep_parallel<C: Clone + Send + Sync>(
                 stats,
             })
             .collect(),
-        hits,
-        misses,
+        delta,
     )
 }
 
@@ -138,13 +150,13 @@ pub fn sweep_fallible<C: Clone>(
     mut eval: impl FnMut(&C) -> Result<KernelStats, SimError>,
 ) -> Result<FallibleSweep<C>, SimError> {
     assert!(!configs.is_empty(), "empty configuration space");
-    let (evaluated, hits, misses) = with_memo_delta(|| {
+    let (evaluated, delta) = with_memo_delta(|| {
         configs
             .iter()
             .map(|c| (c.clone(), eval(c)))
             .collect::<Vec<_>>()
     });
-    collect_fallible(evaluated, hits, misses)
+    collect_fallible(evaluated, delta)
 }
 
 /// [`sweep_parallel`] for evaluators that can fail; same per-configuration
@@ -155,16 +167,15 @@ pub fn sweep_parallel_fallible<C: Clone + Send + Sync>(
 ) -> Result<FallibleSweep<C>, SimError> {
     assert!(!configs.is_empty(), "empty configuration space");
     let eval = &eval;
-    let (results, hits, misses) = with_memo_delta(|| {
+    let (results, delta) = with_memo_delta(|| {
         g80_sim::pool::run_tasks(configs.iter().map(|c| move || eval(c)).collect())
     });
-    collect_fallible(configs.iter().cloned().zip(results).collect(), hits, misses)
+    collect_fallible(configs.iter().cloned().zip(results).collect(), delta)
 }
 
 fn collect_fallible<C>(
     evaluated: Vec<(C, Result<KernelStats, SimError>)>,
-    hits: u64,
-    misses: u64,
+    delta: g80_sim::MemoCounters,
 ) -> Result<FallibleSweep<C>, SimError> {
     let mut samples = Vec::new();
     let mut failures = Vec::new();
@@ -179,26 +190,39 @@ fn collect_fallible<C>(
         return Err(failures.into_iter().next().unwrap().1);
     }
     Ok(FallibleSweep {
-        result: finish(samples, hits, misses),
+        result: finish(samples, delta),
         failures,
     })
 }
 
-/// Runs `f` and returns its result plus the memo hit/miss counts it caused
-/// (delta of the process-wide counters; saturating so a concurrent
-/// [`g80_sim::reset_memo_counters`] cannot underflow).
-fn with_memo_delta<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+/// Runs `f` and returns its result plus the cache activity it caused across
+/// both tiers (delta of the process-wide [`g80_sim::memo_counters`];
+/// saturating so a concurrent [`g80_sim::reset_memo_counters`] cannot
+/// underflow).
+fn with_memo_delta<T>(f: impl FnOnce() -> T) -> (T, g80_sim::MemoCounters) {
     let before = g80_sim::memo_counters();
     let out = f();
     let after = g80_sim::memo_counters();
     (
         out,
-        after.hits.saturating_sub(before.hits),
-        after.misses.saturating_sub(before.misses),
+        g80_sim::MemoCounters {
+            hits: after.hits.saturating_sub(before.hits),
+            misses: after.misses.saturating_sub(before.misses),
+            disk_hits: after.disk_hits.saturating_sub(before.disk_hits),
+            disk_misses: after.disk_misses.saturating_sub(before.disk_misses),
+            disk_evictions: after.disk_evictions.saturating_sub(before.disk_evictions),
+            dedup_fast_blocks: after
+                .dedup_fast_blocks
+                .saturating_sub(before.dedup_fast_blocks),
+            dedup_sim_blocks: after
+                .dedup_sim_blocks
+                .saturating_sub(before.dedup_sim_blocks),
+            dedup_fallbacks: after.dedup_fallbacks.saturating_sub(before.dedup_fallbacks),
+        },
     )
 }
 
-fn finish<C>(samples: Vec<Sample<C>>, memo_hits: u64, memo_misses: u64) -> SweepResult<C> {
+fn finish<C>(samples: Vec<Sample<C>>, delta: g80_sim::MemoCounters) -> SweepResult<C> {
     let best = samples
         .iter()
         .enumerate()
@@ -208,8 +232,11 @@ fn finish<C>(samples: Vec<Sample<C>>, memo_hits: u64, memo_misses: u64) -> Sweep
     SweepResult {
         samples,
         best,
-        memo_hits,
-        memo_misses,
+        memo_hits: delta.hits,
+        memo_misses: delta.misses,
+        disk_hits: delta.disk_hits,
+        disk_misses: delta.disk_misses,
+        disk_evictions: delta.disk_evictions,
     }
 }
 
@@ -335,9 +362,13 @@ mod tests {
     #[test]
     fn revisit_sweep_reports_memo_hits() {
         // Meaningless when the cache is globally disabled (the CI matrix
-        // runs the suite with G80_SIM_MEMO=off), and exact counts are
-        // perturbed under the chaos CI's armed fault injector.
-        if g80_sim::memo() == g80_sim::Memo::Off || g80_sim::fault::armed() {
+        // runs the suite with G80_SIM_MEMO=off), exact counts are perturbed
+        // under the chaos CI's armed fault injector, and a warm disk-cache
+        // dir can turn the cold sweep's expected misses into disk hits.
+        if g80_sim::memo() == g80_sim::Memo::Off
+            || g80_sim::fault::armed()
+            || g80_sim::disk_cache_dir().is_some()
+        {
             return;
         }
         // The revisit needs every config still resident (the CI matrix

@@ -5,7 +5,7 @@
 use crate::transfer::PcieModel;
 use g80_isa::{Kernel, Operand, Value};
 use g80_sim::fault;
-use g80_sim::{launch_traced, CudaError, DeviceMemory, GpuConfig, KernelStats, LaunchDims};
+use g80_sim::{launch_traced, CudaError, DeviceMemory, GpuConfig, KernelStats, LaunchDims, Served};
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -125,9 +125,12 @@ pub struct Timeline {
     pub launches: u64,
     /// Total simulated GPU cycles.
     pub kernel_cycles: u64,
-    /// Launches answered from the simulator's launch memo cache (their
-    /// `kernel_s`/`kernel_cycles` were replayed, not simulated).
+    /// Launches answered from the simulator's in-process launch memo cache
+    /// (their `kernel_s`/`kernel_cycles` were replayed, not simulated).
     pub memo_hits: u64,
+    /// Launches answered from the persistent disk cache tier (replayed from
+    /// a prior process's simulation; see [`g80_sim::set_disk_cache`]).
+    pub disk_hits: u64,
 }
 
 impl Timeline {
@@ -149,14 +152,15 @@ impl Timeline {
     pub fn transfer_s(&self) -> f64 {
         self.h2d_s + self.d2h_s
     }
-    /// Fraction of this device's launches served by the launch memo cache
-    /// (0 when nothing launched). Process-wide totals — across devices and
-    /// including block-class dedup — live in [`g80_sim::memo_counters`].
+    /// Fraction of this device's launches served by any cache tier — the
+    /// in-process launch memo or the persistent disk cache (0 when nothing
+    /// launched). Process-wide totals — across devices and including
+    /// block-class dedup — live in [`g80_sim::memo_counters`].
     pub fn memo_hit_rate(&self) -> f64 {
         if self.launches == 0 {
             0.0
         } else {
-            self.memo_hits as f64 / self.launches as f64
+            (self.memo_hits + self.disk_hits) as f64 / self.launches as f64
         }
     }
 }
@@ -320,25 +324,26 @@ impl Device {
         block: (u32, u32, u32),
         params: &[Value],
     ) -> Result<KernelStats, g80_sim::LaunchError> {
-        let (stats, memo_hit) = launch_traced(
+        let (stats, served) = launch_traced(
             &self.cfg,
             kernel,
             LaunchDims { grid, block },
             params,
             &self.mem,
         )?;
-        self.record_kernel(&stats, memo_hit);
+        self.record_kernel(&stats, served);
         Ok(stats)
     }
 
     /// Accounts one completed kernel on the timeline (shared by [`launch`]
     /// and [`launch_batch`]).
-    fn record_kernel(&self, stats: &KernelStats, memo_hit: bool) {
+    fn record_kernel(&self, stats: &KernelStats, served: Served) {
         let mut t = self.timeline.borrow_mut();
         t.kernel_s += stats.elapsed;
         t.kernel_cycles += stats.cycles;
         t.launches += 1;
-        t.memo_hits += memo_hit as u64;
+        t.memo_hits += (served == Served::Memo) as u64;
+        t.disk_hits += (served == Served::Disk) as u64;
     }
 
     /// The accumulated execution timeline.
@@ -393,8 +398,8 @@ pub fn launch_batch(entries: &[BatchLaunch]) -> Vec<Result<KernelStats, g80_sim:
         .collect();
     let results = g80_sim::launch_batch_traced(cfg, &specs);
     for (e, r) in entries.iter().zip(&results) {
-        if let Ok((stats, memo_hit)) = r {
-            e.device.record_kernel(stats, *memo_hit);
+        if let Ok((stats, served)) = r {
+            e.device.record_kernel(stats, *served);
         }
     }
     results
@@ -536,10 +541,14 @@ mod tests {
     #[test]
     fn timeline_counts_memo_hits() {
         // Hit accounting is meaningless when the cache is globally disabled
-        // (the CI matrix runs the suite with G80_SIM_MEMO=off), and the
-        // exact hit count is perturbed when the chaos CI arms the fault
-        // injector (absorbed retries re-probe the cache).
-        if g80_sim::memo() == g80_sim::Memo::Off || fault::armed() {
+        // (the CI matrix runs the suite with G80_SIM_MEMO=off), the exact
+        // hit count is perturbed when the chaos CI arms the fault injector
+        // (absorbed retries re-probe the cache), and a warm disk-cache dir
+        // from a prior run can serve launches the LRU would otherwise miss.
+        if g80_sim::memo() == g80_sim::Memo::Off
+            || fault::armed()
+            || g80_sim::disk_cache_dir().is_some()
+        {
             return;
         }
         // The memo key digests the full pre-launch memory image, so the

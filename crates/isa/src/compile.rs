@@ -293,6 +293,14 @@ impl CompiledKernel {
         CompiledKernel { steps, regions }
     }
 
+    /// Length (in instructions) of the longest lowered region, 0 when the
+    /// kernel has none. The simulator's engine selection uses this as its
+    /// profitability signal: region entry has a fixed pre-bind cost, so
+    /// kernels with only short regions run faster un-lowered.
+    pub fn max_region_len(&self) -> usize {
+        self.regions.iter().map(|r| r.ops.len()).max().unwrap_or(0)
+    }
+
     /// The step for the instruction at `pc`.
     #[inline]
     pub fn step(&self, pc: usize) -> Step {

@@ -53,11 +53,16 @@ pub enum Site {
     MemoLoad = 5,
     /// Pool worker threads, polled between stolen tasks.
     PoolWorker = 6,
+    /// The persistent disk tier of the launch memo ([`crate::disk`]):
+    /// polled once per entry load and once per entry publish. A typed fault
+    /// tampers with the entry (corrupt on-disk checksum / treat the loaded
+    /// entry as corrupt), exercising the evict-and-resimulate path.
+    DiskCache = 7,
 }
 
 impl Site {
     /// Every site, for soak tests and docs.
-    pub const ALL: [Site; 7] = [
+    pub const ALL: [Site; 8] = [
         Site::DeviceAlloc,
         Site::DeviceCopy,
         Site::Decode,
@@ -65,6 +70,7 @@ impl Site {
         Site::MemoStore,
         Site::MemoLoad,
         Site::PoolWorker,
+        Site::DiskCache,
     ];
 
     /// Stable name, used in payloads and error messages.
@@ -77,6 +83,7 @@ impl Site {
             Site::MemoStore => "memo.store",
             Site::MemoLoad => "memo.load",
             Site::PoolWorker => "pool.worker",
+            Site::DiskCache => "memo.disk",
         }
     }
 
@@ -176,9 +183,9 @@ static RATE_BITS: AtomicU64 = AtomicU64::new(0);
 static KIND: AtomicU8 = AtomicU8::new(0);
 static SITES: AtomicU32 = AtomicU32::new(0);
 /// Per-site poll counters: the call index feeding the decision hash.
-static CALLS: [AtomicU64; 7] = [const { AtomicU64::new(0) }; 7];
+static CALLS: [AtomicU64; 8] = [const { AtomicU64::new(0) }; 8];
 /// Per-site counters of faults actually raised.
-static RAISED: [AtomicU64; 7] = [const { AtomicU64::new(0) }; 7];
+static RAISED: [AtomicU64; 8] = [const { AtomicU64::new(0) }; 8];
 /// Absorb-and-retry mode (default on): the launch/device layers retry
 /// injected-class failures after restoring memory, so an armed suite still
 /// passes. Soak tests turn it off to observe the per-launch `Err`s.

@@ -21,7 +21,7 @@
 use crate::config::GpuConfig;
 use crate::counters::{KernelStats, SmStats};
 use crate::fault;
-use crate::memo;
+use crate::memo::{self, Served};
 use crate::memory::DeviceMemory;
 use crate::pool;
 use crate::reference::run_sm_reference;
@@ -291,11 +291,16 @@ struct EngineKernel<'a> {
 
 impl<'a> EngineKernel<'a> {
     /// The engine artifacts for `info` under the currently selected engine;
-    /// `None` means the reference engine runs.
+    /// `None` means the reference engine runs. Under [`Engine::Compiled`]
+    /// the lowered regions engage only when the registry judged them
+    /// profitable ([`memo::KernelInfo::compiled_profitable`]); a kernel
+    /// with only short regions (e.g. a streaming saxpy, whose global
+    /// accesses are region-ineligible) falls back to the predecoded path,
+    /// which is bit-identical and strictly cheaper to drive.
     fn select(eng: Engine, info: Option<&'a memo::KernelInfo>) -> Option<Self> {
         info.map(|i| EngineKernel {
             decoded: &i.decoded,
-            compiled: (eng == Engine::Compiled).then_some(&i.compiled),
+            compiled: (eng == Engine::Compiled && i.compiled_profitable).then_some(&i.compiled),
         })
     }
 }
@@ -426,17 +431,20 @@ pub fn launch(
     launch_with_memo(cfg, spec, true).map(|(stats, _)| stats)
 }
 
-/// [`launch`], but also reports whether the result came from the launch
-/// memo cache (`true` = replayed, no simulation ran). Host runtimes use
-/// this to attribute cache activity to the launch that caused it instead
-/// of diffing the process-wide [`memo_counters`].
+/// [`launch`], but also reports which tier served the result (simulated
+/// fresh, replayed from the in-process memo LRU, or replayed from the
+/// persistent disk tier). Host runtimes use this to attribute cache
+/// activity to the launch that caused it instead of diffing the
+/// process-wide [`memo_counters`].
+///
+/// [`memo_counters`]: crate::memo_counters
 pub fn launch_traced(
     cfg: &GpuConfig,
     kernel: &Kernel,
     dims: LaunchDims,
     params: &[Value],
     mem: &DeviceMemory,
-) -> Result<(KernelStats, bool), LaunchError> {
+) -> Result<(KernelStats, Served), LaunchError> {
     let spec = LaunchSpec {
         kernel,
         dims,
@@ -453,7 +461,7 @@ const MAX_FAULT_RETRIES: u32 = 32;
 
 /// [`launch`] body with an explicit memo-exclusivity verdict (batches pass
 /// `false` for specs that share a [`DeviceMemory`] with a concurrent spec).
-/// The boolean in the result is the memo-hit verdict.
+/// The [`Served`] in the result is the cache-tier verdict.
 ///
 /// When fault injection is armed with absorb-and-retry enabled (the
 /// default), injected-class failures are retried after restoring the
@@ -464,7 +472,7 @@ fn launch_with_memo(
     cfg: &GpuConfig,
     spec: LaunchSpec,
     exclusive_mem: bool,
-) -> Result<(KernelStats, bool), LaunchError> {
+) -> Result<(KernelStats, Served), LaunchError> {
     if !fault::armed() {
         return launch_once(cfg, spec, exclusive_mem);
     }
@@ -494,7 +502,7 @@ fn launch_once(
     cfg: &GpuConfig,
     spec: LaunchSpec,
     exclusive_mem: bool,
-) -> Result<(KernelStats, bool), LaunchError> {
+) -> Result<(KernelStats, Served), LaunchError> {
     let blocks_per_sm = validate(cfg, &spec)?;
     let lookup = memo::memo_lookup(
         cfg,
@@ -504,8 +512,8 @@ fn launch_once(
         spec.mem,
         exclusive_mem,
     );
-    if let memo::MemoLookup::Hit(stats) = lookup {
-        return Ok((*stats, true));
+    if let memo::MemoLookup::Hit(stats, served) = lookup {
+        return Ok((*stats, served));
     }
     let prepared = Prepared {
         spec,
@@ -537,7 +545,7 @@ fn launch_once(
     if let memo::MemoLookup::Miss(pending) = lookup {
         memo::memo_record(pending, prepared.spec.mem, &stats);
     }
-    Ok((stats, false))
+    Ok((stats, Served::Simulated))
 }
 
 /// Collects per-SM task results, degrading the first panic (in SM order)
@@ -724,12 +732,12 @@ pub fn launch_batch(
         .collect()
 }
 
-/// [`launch_batch`], but each entry also reports whether it was served from
-/// the launch memo cache (see [`launch_traced`]).
+/// [`launch_batch`], but each entry also reports which cache tier served it
+/// (see [`launch_traced`]).
 pub fn launch_batch_traced(
     cfg: &GpuConfig,
     specs: &[LaunchSpec],
-) -> Vec<Result<(KernelStats, bool), LaunchError>> {
+) -> Vec<Result<(KernelStats, Served), LaunchError>> {
     // The frozen baseline executes the batch as the studies used to: one
     // launch at a time, each paying its own spawn burst (each launch gets
     // its own absorb/retry through `launch_with_memo`).
@@ -782,7 +790,7 @@ pub fn launch_batch_traced(
 fn launch_batch_once(
     cfg: &GpuConfig,
     specs: &[LaunchSpec],
-) -> Vec<Result<(KernelStats, bool), LaunchError>> {
+) -> Vec<Result<(KernelStats, Served), LaunchError>> {
     let prepared: Vec<Result<Prepared, LaunchError>> = specs
         .iter()
         .map(|&spec| {
@@ -833,7 +841,7 @@ fn launch_batch_once(
     // Probe the memo cache per spec before any simulation starts. Hits
     // apply their memory delta immediately, which is safe precisely because
     // only exclusively-owned memories are probed.
-    let mut hit_stats: Vec<Option<KernelStats>> = vec![None; specs.len()];
+    let mut hit_stats: Vec<Option<(KernelStats, Served)>> = vec![None; specs.len()];
     let mut pendings: Vec<Option<memo::MemoPending>> = Vec::with_capacity(specs.len());
     for (si, p) in prepared.iter().enumerate() {
         let mut pending = None;
@@ -841,7 +849,7 @@ fn launch_batch_once(
             let exclusive = mem_uses[&std::ptr::from_ref(p.spec.mem)] == 1;
             let s = &p.spec;
             match memo::memo_lookup(cfg, s.kernel, s.dims, s.params, s.mem, exclusive) {
-                memo::MemoLookup::Hit(stats) => hit_stats[si] = Some(*stats),
+                memo::MemoLookup::Hit(stats, served) => hit_stats[si] = Some((*stats, served)),
                 memo::MemoLookup::Miss(pend) => pending = Some(pend),
                 memo::MemoLookup::Disabled => {}
             }
@@ -902,14 +910,14 @@ fn launch_batch_once(
                 if let Some(e) = per_spec_err[si].take() {
                     return Err(e);
                 }
-                if let Some(stats) = hit_stats[si].take() {
-                    return Ok((stats, true));
+                if let Some((stats, served)) = hit_stats[si].take() {
+                    return Ok((stats, served));
                 }
                 let stats = p.merge(cfg, results);
                 if let Some(pending) = pendings[si].take() {
                     memo::memo_record(pending, p.spec.mem, &stats);
                 }
-                Ok((stats, false))
+                Ok((stats, Served::Simulated))
             })
         })
         .collect()

@@ -58,6 +58,7 @@
 mod compiled;
 pub mod config;
 pub mod counters;
+pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod launch;
@@ -71,6 +72,7 @@ mod witness;
 
 pub use config::GpuConfig;
 pub use counters::{KernelStats, StallReason};
+pub use disk::{disk_cache_dir, set_disk_cache, set_disk_cache_cap};
 pub use error::{CudaError, SimError};
 pub use fault::{set_faults, set_watchdog_cycles, watchdog_cycles, FaultConfig, FaultKind, Site};
 pub use launch::{
@@ -79,7 +81,7 @@ pub use launch::{
 };
 pub use memo::{
     clear_memo_cache, dedup, kernel_info, memo, memo_counters, reset_memo_counters, set_dedup,
-    set_memo, set_memo_capacity, Dedup, KernelInfo, Memo, MemoCounters,
+    set_memo, set_memo_capacity, Dedup, KernelInfo, Memo, MemoCounters, Served,
 };
 pub use memory::DeviceMemory;
 pub use sm::LaunchDims;

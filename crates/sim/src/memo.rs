@@ -22,6 +22,7 @@
 
 use crate::config::GpuConfig;
 use crate::counters::KernelStats;
+use crate::disk;
 use crate::fault::{self, lock_recover};
 use crate::memory::DeviceMemory;
 use crate::sm::LaunchDims;
@@ -155,10 +156,22 @@ pub(crate) fn count_dedup_fallback() {
 /// Snapshot of the redundancy-elimination counters (process-wide totals).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct MemoCounters {
-    /// Launches answered from the memo cache without simulating.
+    /// Launches answered from the in-process LRU memo cache without
+    /// simulating.
     pub hits: u64,
     /// Memo-eligible launches that had to simulate (and were recorded).
+    /// Launches answered by the disk tier are neither hits nor misses here;
+    /// they count in [`MemoCounters::disk_hits`].
     pub misses: u64,
+    /// Launches answered from the persistent disk tier
+    /// ([`crate::set_disk_cache`]) after missing the LRU.
+    pub disk_hits: u64,
+    /// Disk-tier probes that found no usable entry (absent, corrupt, or
+    /// version-skewed). Zero while the tier is disabled.
+    pub disk_misses: u64,
+    /// Disk entries removed: corrupt/version-skewed files evicted on load
+    /// plus files removed by byte-budget compaction.
+    pub disk_evictions: u64,
     /// Blocks whose timing was fast-forwarded by block-class dedup.
     pub dedup_fast_blocks: u64,
     /// Blocks fully simulated in dedup-enabled launches.
@@ -169,22 +182,28 @@ pub struct MemoCounters {
 }
 
 impl MemoCounters {
-    /// Hit fraction over all memo-cache probes (0 when none).
+    /// Hit fraction over all memo-cache probes, counting both tiers (0 when
+    /// none).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let served = self.hits + self.disk_hits;
+        let total = served + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            served as f64 / total as f64
         }
     }
 }
 
 /// Reads the process-wide redundancy-elimination counters.
 pub fn memo_counters() -> MemoCounters {
+    let (disk_hits, disk_misses, disk_evictions) = disk::counters();
     MemoCounters {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        disk_hits,
+        disk_misses,
+        disk_evictions,
         dedup_fast_blocks: DEDUP_FAST_BLOCKS.load(Ordering::Relaxed),
         dedup_sim_blocks: DEDUP_SIM_BLOCKS.load(Ordering::Relaxed),
         dedup_fallbacks: DEDUP_FALLBACKS.load(Ordering::Relaxed),
@@ -195,6 +214,7 @@ pub fn memo_counters() -> MemoCounters {
 pub fn reset_memo_counters() {
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
+    disk::reset_counters();
     DEDUP_FAST_BLOCKS.store(0, Ordering::Relaxed);
     DEDUP_SIM_BLOCKS.store(0, Ordering::Relaxed);
     DEDUP_FALLBACKS.store(0, Ordering::Relaxed);
@@ -203,11 +223,13 @@ pub fn reset_memo_counters() {
 // ---- hashing ---------------------------------------------------------------
 
 /// 64-bit streaming hasher (multiply-xor with a strong finalizer), seeded so
-/// two instances give independent halves of a 128-bit digest.
-struct Mix64(u64);
+/// two instances give independent halves of a 128-bit digest. Deterministic
+/// across processes, which is what lets [`crate::disk`] address entries on
+/// disk by the same digests the in-process cache uses.
+pub(crate) struct Mix64(u64);
 
 impl Mix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Mix64(seed ^ 0x9e37_79b9_7f4a_7c15)
     }
     fn finish128(a: Mix64, b: Mix64) -> (u64, u64) {
@@ -263,6 +285,15 @@ pub struct KernelInfo {
     /// it is computed eagerly alongside the decode and shared process-wide
     /// like everything else in this registry.
     pub compiled: CompiledKernel,
+    /// Whether region lowering is expected to pay off for this kernel.
+    /// Entering a region costs a pre-bind pass over the warp's operands;
+    /// the win is the per-instruction dispatch it erases, which scales with
+    /// region length. Kernels whose longest region is below
+    /// [`COMPILED_MIN_REGION_LEN`] (streaming kernels whose bodies are
+    /// dominated by region-ineligible global loads/stores, like saxpy) run
+    /// the predecoded path even under `Engine::Compiled` — bit-identical by
+    /// construction, and never slower than the engine they fell back to.
+    pub compiled_profitable: bool,
     /// Dataflow facts from [`g80_isa::dataflow::analyze`].
     pub taint: TaintSummary,
     /// Whether block-class dedup may engage: timing is data-independent and
@@ -275,6 +306,13 @@ pub struct KernelInfo {
     /// the replay executor skips recomputing and re-verifying them.
     pub shared_uniform: bool,
 }
+
+/// Smallest longest-region length at which the compiled engine's region
+/// entry overhead is repaid by erased dispatch. Measured on the bench
+/// workloads: saxpy's longest region is 4 micro-ops (its global accesses
+/// are region-ineligible) and regressed ~14% under lowering, while the
+/// tiled matmul's ~48-op unrolled regions gain 3-4x.
+const COMPILED_MIN_REGION_LEN: usize = 8;
 
 struct Registry {
     map: HashMap<(u64, u64), (Arc<KernelInfo>, u64)>,
@@ -317,9 +355,12 @@ pub fn kernel_info(kernel: &Kernel) -> Arc<KernelInfo> {
         && !taint.uses_const
         && !taint.uses_tex
         && !kernel.code.is_empty();
+    let compiled = CompiledKernel::new(kernel);
+    let compiled_profitable = compiled.max_region_len() >= COMPILED_MIN_REGION_LEN;
     let info = Arc::new(KernelInfo {
         decoded: DecodedKernel::new(kernel),
-        compiled: CompiledKernel::new(kernel),
+        compiled,
+        compiled_profitable,
         taint,
         dedup_eligible,
         shared_uniform: !taint.ctaid_shared_addr,
@@ -458,12 +499,32 @@ pub fn clear_memo_cache() {
     lock_recover(launch_cache()).map.clear();
 }
 
+/// Which tier satisfied a traced launch ([`crate::launch_traced`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Served {
+    /// Simulated fresh (cache miss, or memoization disabled).
+    Simulated,
+    /// Replayed from the in-process LRU memo cache.
+    Memo,
+    /// Replayed from the persistent disk tier ([`crate::set_disk_cache`])
+    /// and promoted back into the LRU.
+    Disk,
+}
+
+impl Served {
+    /// True when no simulation ran (either cache tier answered).
+    pub fn from_cache(self) -> bool {
+        !matches!(self, Served::Simulated)
+    }
+}
+
 /// Outcome of a memo-cache probe.
 pub(crate) enum MemoLookup {
     /// Memoization is off for this launch; simulate normally.
     Disabled,
-    /// Cache hit: stats returned, memory delta already re-applied.
-    Hit(Box<KernelStats>),
+    /// Cache hit (LRU or disk tier): stats returned, memory delta already
+    /// re-applied.
+    Hit(Box<KernelStats>, Served),
     /// Miss: simulate, then pass this token to [`memo_record`].
     Miss(MemoPending),
 }
@@ -592,6 +653,10 @@ fn memo_lookup_inner(
     if let Some(entry) = cache.map.get_mut(&key) {
         // Verify integrity *before* applying the delta: a corrupt entry
         // must not touch memory. Evict it and fall back to simulation.
+        // The disk tier is deliberately *not* probed on this path: its copy
+        // of the entry was written by the same record that produced the
+        // corrupt one, so it is equally suspect — resimulating is the
+        // conservative recovery, and the re-record republishes cleanly.
         if tampered || entry_checksum(&entry.stats, &entry.delta) != entry.checksum {
             cache.map.remove(&key);
             drop(cache);
@@ -607,12 +672,51 @@ fn memo_lookup_inner(
         }
         drop(cache);
         HITS.fetch_add(1, Ordering::Relaxed);
-        MemoLookup::Hit(Box::new(stats))
+        MemoLookup::Hit(Box::new(stats), Served::Memo)
     } else {
         drop(cache);
+        // LRU miss: probe the persistent tier (when enabled). A verified
+        // disk entry is promoted back into the LRU — with a checksum
+        // recomputed here, so a tampered file can never seed a
+        // "trusted" in-memory entry — and served exactly like an LRU hit.
+        if disk::enabled() {
+            if let disk::DiskLoad::Hit(stats, delta) = disk::load(disk_digest(&key)) {
+                let checksum = entry_checksum(&stats, &delta);
+                let cap = memo_capacity();
+                let mut cache = lock_recover(launch_cache());
+                cache.tick += 1;
+                let tick = cache.tick;
+                while cache.map.len() >= cap {
+                    cache.evict_lru();
+                }
+                for &(idx, val) in &delta {
+                    mem.write(idx * 4, Value(val));
+                }
+                cache.map.insert(
+                    key,
+                    MemoEntry {
+                        stats: (*stats).clone(),
+                        delta,
+                        checksum,
+                        last_used: tick,
+                    },
+                );
+                drop(cache);
+                return MemoLookup::Hit(stats, Served::Disk);
+            }
+        }
         MISSES.fetch_add(1, Ordering::Relaxed);
         MemoLookup::Miss(MemoPending { key, pre })
     }
+}
+
+/// The disk tier's content address for a launch: the same 128-bit digest
+/// family as every other memo hash, fed with the full [`MemoKey`] (kernel
+/// content, config, geometry, params, memory image, mode). Stable across
+/// processes — [`Mix64`] has no per-process state — which is what makes
+/// the on-disk cache shareable by whole tuner fleets.
+fn disk_digest(key: &MemoKey) -> (u64, u64) {
+    hash128(|h| key.hash(h))
 }
 
 /// Records a simulated launch: diffs the pre-launch snapshot against the
@@ -647,6 +751,14 @@ fn memo_record_inner(pending: MemoPending, mem: &DeviceMemory, stats: &KernelSta
         .map(|(i, (_, &b))| (i as u32, b))
         .collect();
     let checksum = entry_checksum(stats, &delta) ^ ((corrupt as u64) * 0xdead_beef);
+    // Spill to the persistent tier on insert, outside the cache lock (file
+    // I/O must not serialize concurrent probes). A store whose in-memory
+    // entry was tampered (`corrupt`) skips the spill — publishing a clean
+    // copy of an entry the next probe is about to distrust would let the
+    // disk tier mask the very corruption the fault is injecting.
+    if !corrupt && disk::enabled() {
+        disk::publish(disk_digest(&pending.key), stats, &delta);
+    }
     let cap = memo_capacity();
     let mut cache = lock_recover(launch_cache());
     cache.tick += 1;

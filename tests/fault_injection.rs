@@ -21,9 +21,10 @@ use g80::isa::builder::KernelBuilder;
 use g80::isa::{Kernel, Value};
 use g80::sim::fault::{self, FaultConfig, FaultKind, Site};
 use g80::sim::{
-    clear_memo_cache, launch, launch_batch, memo_counters, set_dedup, set_engine, set_executor,
-    set_faults, set_memo, set_memo_capacity, set_watchdog_cycles, Dedup, DeviceMemory, Engine,
-    Executor, GpuConfig, KernelStats, LaunchDims, LaunchError, LaunchSpec, Memo,
+    clear_memo_cache, launch, launch_batch, memo_counters, set_dedup, set_disk_cache, set_engine,
+    set_executor, set_faults, set_memo, set_memo_capacity, set_watchdog_cycles, Dedup,
+    DeviceMemory, Engine, Executor, GpuConfig, KernelStats, LaunchDims, LaunchError, LaunchSpec,
+    Memo,
 };
 
 const TPB: u32 = 64;
@@ -109,7 +110,10 @@ fn output_words(mem: &DeviceMemory, n: u32) -> Vec<u32> {
     (0..n).map(|i| mem.read((n + i) * 4).as_u32()).collect()
 }
 
-/// Resets every process-global toggle to the harness-off defaults.
+/// Resets every process-global toggle to the harness-off defaults. The disk
+/// tier is forced off (even if `G80_SIM_DISK_CACHE` is set in the CI env):
+/// the exact-count assertions below reason about the in-process LRU alone,
+/// and the soak arms its own private disk directory.
 fn disarm_all() {
     set_faults(None);
     fault::set_retry(true);
@@ -119,6 +123,7 @@ fn disarm_all() {
     set_dedup(Dedup::On);
     set_engine(Engine::Predecoded);
     set_executor(Executor::Pooled);
+    set_disk_cache(None);
     clear_memo_cache();
 }
 
@@ -467,6 +472,13 @@ fn soak_every_site_both_kinds(cfg: &GpuConfig) {
     disarm_all();
     const N: u32 = 256;
 
+    // The memo.disk site only polls while the disk tier is enabled, so the
+    // soak runs against a private cache directory: every recorded miss
+    // publishes (one poll) and every LRU miss probes (another poll).
+    let disk_dir = std::env::temp_dir().join(format!("g80-fi-soak-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    set_disk_cache(Some(disk_dir.clone()));
+
     // Absorb-and-retry OFF: every injected fault must surface — as a typed
     // per-launch Err, a classified injected panic, or (device layer) a
     // typed CudaError — and never as a process abort or a wedged pool.
@@ -555,5 +567,6 @@ fn soak_every_site_both_kinds(cfg: &GpuConfig) {
     // The pool survived: a clean fleet drains with correct results.
     let sums = g80::sim::pool::run_tasks((0..32u64).map(|i| move || i * 3).collect::<Vec<_>>());
     assert_eq!(sums, (0..32u64).map(|i| i * 3).collect::<Vec<_>>());
+    let _ = std::fs::remove_dir_all(&disk_dir);
     disarm_all();
 }

@@ -119,6 +119,10 @@ fn memo_hits_evictions_and_threads() {
     set_dedup(Dedup::Off); // isolate the memo axis
     set_memo(Memo::On);
     set_memo_capacity(128);
+    // Force the disk tier off: the exact counts below reason about the
+    // in-process LRU alone (a warm G80_SIM_DISK_CACHE dir would turn the
+    // capacity-1 eviction scenario's expected misses into disk hits).
+    g80::sim::set_disk_cache(None);
     clear_memo_cache();
     reset_memo_counters();
     let cfg = GpuConfig::geforce_8800_gtx();
