@@ -680,6 +680,102 @@ fn run() -> i32 {
         "hardening_matmul_1024", hardening_base_s, hardening_on_s, hardening_ratio
     );
 
+    // ---- serving tier (daemon + 8-tenant probe fleet over loopback) ----
+    // The g80-serve daemon shares this process's pool and memo tiers, so
+    // this row measures pure serving overhead: framing, admission, and the
+    // per-connection threads, on top of launches the warm memo answers.
+    // Eight tenants each fire a stream of probe requests (distinct kernel
+    // content per tenant; repeats within a tenant hit the memo, as a
+    // service's steady state would) and the row reports aggregate
+    // throughput and tail latency.
+    set_engine(Engine::Predecoded);
+    set_executor(Executor::Pooled);
+    set_memo(Memo::On);
+    clear_memo_cache();
+    let serve_tenants = 8u32;
+    let serve_requests = if check { 16u32 } else { 64 };
+    let (serve_req_per_s, serve_p50_ms, serve_p99_ms, serve_cache_hits) = {
+        use g80_serve::{serve, Addr, Client, Quota, ServeConfig, WireLaunch};
+        let server = serve(ServeConfig {
+            addr: Addr::parse("tcp:127.0.0.1:0").expect("addr"),
+            quota: Quota::default(),
+            gpu: g80_sim::GpuConfig::geforce_8800_gtx(),
+        })
+        .expect("bind serve daemon");
+        let addr = server.local_addr().clone();
+        let probe_spec = |tenant: u32| {
+            use g80_isa::builder::KernelBuilder;
+            let mut b = KernelBuilder::new(&format!("bench_serve_probe_{tenant}"));
+            let p = b.param();
+            let tid = b.tid_x();
+            let byte = b.shl(tid, 2u32);
+            let a = b.iadd(byte, p);
+            let v = b.ld_global(a, 0);
+            let w = b.imul(v, 3 + tenant);
+            b.st_global(a, 0, w);
+            let mut spec = WireLaunch::new(
+                b.build(),
+                g80_sim::LaunchDims {
+                    grid: (8, 1),
+                    block: (128, 1, 1),
+                },
+                vec![g80_isa::Value::from_u32(0)],
+                8 * 128 * 4,
+            );
+            spec.writes = (0..8 * 128).map(|i| (i * 4, i ^ tenant)).collect();
+            spec
+        };
+        let wall0 = Instant::now();
+        let workers: Vec<_> = (0..serve_tenants)
+            .map(|t| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut client =
+                        Client::connect(&addr, &format!("bench-{t}")).expect("connect");
+                    let spec = probe_spec(t);
+                    let mut lat = Vec::with_capacity(serve_requests as usize);
+                    let mut hits = 0u64;
+                    for _ in 0..serve_requests {
+                        let t0 = Instant::now();
+                        let (report, _) = client
+                            .launch(&spec)
+                            .expect("transport")
+                            .expect("probe launch");
+                        lat.push(t0.elapsed().as_secs_f64());
+                        if report.served.from_cache() {
+                            hits += 1;
+                        }
+                    }
+                    (lat, hits)
+                })
+            })
+            .collect();
+        let mut lat = Vec::new();
+        let mut hits = 0u64;
+        for w in workers {
+            let (l, h) = w.join().expect("serve bench tenant");
+            lat.extend(l);
+            hits += h;
+        }
+        let wall = wall0.elapsed().as_secs_f64();
+        let mut admin = Client::connect(&addr, "bench-admin").expect("admin connect");
+        admin.shutdown().expect("daemon shutdown");
+        server.join().expect("daemon drain");
+        lat.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize] * 1e3;
+        (lat.len() as f64 / wall, pct(0.50), pct(0.99), hits)
+    };
+    set_memo(Memo::Off);
+    clear_memo_cache();
+    assert!(
+        serve_cache_hits > 0,
+        "steady-state probe repeats must hit the shared memo through the daemon"
+    );
+    eprintln!(
+        "{:<24} {serve_tenants} tenants  {:>8.1} req/s  p50 {:>7.3}ms  p99 {:>7.3}ms  ({serve_cache_hits} cache hits)",
+        "serve_probe_fleet", serve_req_per_s, serve_p50_ms, serve_p99_ms
+    );
+
     // ---- report ----
     let mut json = String::from("{\n  \"benchmark\": \"g80-sim engine wall-clock\",\n");
     json.push_str(&format!(
@@ -734,8 +830,11 @@ fn run() -> i32 {
         disk_cold_s, disk_warm_s, disk_speedup
     ));
     json.push_str(&format!(
-        "  \"hardening\": {{\"name\": \"hardening_matmul_1024\", \"disarmed_s\": {:.6}, \"armed_s\": {:.6}, \"overhead_ratio\": {:.4}}}\n",
+        "  \"hardening\": {{\"name\": \"hardening_matmul_1024\", \"disarmed_s\": {:.6}, \"armed_s\": {:.6}, \"overhead_ratio\": {:.4}}},\n",
         hardening_base_s, hardening_on_s, hardening_ratio
+    ));
+    json.push_str(&format!(
+        "  \"serve\": {{\"name\": \"serve_probe_fleet\", \"tenants\": {serve_tenants}, \"requests_per_tenant\": {serve_requests}, \"req_per_s\": {serve_req_per_s:.1}, \"p50_ms\": {serve_p50_ms:.4}, \"p99_ms\": {serve_p99_ms:.4}, \"cache_hit_responses\": {serve_cache_hits}}}\n"
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write benchmark report");
@@ -801,6 +900,19 @@ fn run() -> i32 {
     if hardening_ratio > 1.02 {
         missed.push(format!(
             "hardening_matmul_1024 overhead {hardening_ratio:.3}x exceeds the 1.02x ceiling"
+        ));
+    }
+    // The serving tier: 8 loopback tenants on warm probes must clear a
+    // conservative throughput floor with a bounded tail — a regression here
+    // means framing, admission, or the per-connection threads got slow.
+    if serve_req_per_s < 200.0 {
+        missed.push(format!(
+            "serve_probe_fleet {serve_req_per_s:.1} req/s is below the 200 req/s floor"
+        ));
+    }
+    if serve_p99_ms > 250.0 {
+        missed.push(format!(
+            "serve_probe_fleet p99 {serve_p99_ms:.3}ms exceeds the 250ms ceiling"
         ));
     }
     if !missed.is_empty() {

@@ -62,6 +62,16 @@ impl<C> SweepResult<C> {
         finish(samples, g80_sim::MemoCounters::default())
     }
 
+    /// Builds a result from samples plus externally measured cache
+    /// counters, computing the best index. This is how a `g80-serve` client
+    /// reassembles a sweep from streamed rows: it pairs the rows with the
+    /// configurations it generated them from and attaches the counter delta
+    /// the daemon reported for the sweep.
+    pub fn from_parts(samples: Vec<Sample<C>>, counters: g80_sim::MemoCounters) -> Self {
+        assert!(!samples.is_empty(), "empty configuration space");
+        finish(samples, counters)
+    }
+
     /// Cache hit fraction over this sweep's launches, counting both the
     /// in-process memo and the disk tier (0 when nothing was probed — e.g.
     /// the cache is disabled).

@@ -1,0 +1,210 @@
+//! `g80-bench-serve`: load generator for a running `g80-serve` daemon.
+//!
+//! Spawns N tenant connections, each firing M probe launches
+//! back-to-back, and reports aggregate throughput, latency percentiles,
+//! and how many responses were served from a cache tier (the `Served`
+//! provenance in each report). Used by the CI smoke job to prove the
+//! cross-process disk tier works: a second daemon on the same
+//! `G80_SIM_DISK_CACHE` directory must answer `--expect-warm` traffic
+//! from cache.
+//!
+//! ```text
+//! g80-bench-serve --addr tcp:127.0.0.1:7808 --tenants 8 --requests 32 \
+//!                 [--p99-ms 500] [--expect-warm] [--shutdown]
+//! ```
+//!
+//! Exit codes: 0 ok, 1 transport failure, 2 assertion breached
+//! (`--p99-ms` ceiling or `--expect-warm` with zero cache hits).
+
+use g80_isa::builder::KernelBuilder;
+use g80_isa::{Kernel, Value};
+use g80_serve::{Addr, Client, WireLaunch};
+use g80_sim::LaunchDims;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: Addr,
+    tenants: usize,
+    requests: usize,
+    p99_ms: Option<f64>,
+    expect_warm: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: Addr::Tcp("127.0.0.1:7808".into()),
+        tenants: 8,
+        requests: 32,
+        p99_ms: None,
+        expect_warm: false,
+        shutdown: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<&str, String> {
+            *i += 1;
+            argv.get(*i)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--addr" => args.addr = Addr::parse(take(&mut i)?).map_err(|e| e.to_string())?,
+            "--tenants" => args.tenants = take(&mut i)?.parse().map_err(|_| "bad --tenants")?,
+            "--requests" => args.requests = take(&mut i)?.parse().map_err(|_| "bad --requests")?,
+            "--p99-ms" => args.p99_ms = Some(take(&mut i)?.parse().map_err(|_| "bad --p99-ms")?),
+            "--expect-warm" => args.expect_warm = true,
+            "--shutdown" => args.shutdown = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if args.tenants == 0 || args.requests == 0 {
+        return Err("--tenants and --requests must be positive".into());
+    }
+    Ok(args)
+}
+
+/// The probe: one small streaming kernel per tenant (distinct code per
+/// tenant via the scale constant, so tenants don't trivially collapse
+/// into one memo entry — cache hits come from each tenant's own repeats
+/// or the disk tier).
+fn probe_kernel(tenant: usize) -> Kernel {
+    let mut b = KernelBuilder::new(&format!("serve_probe_{tenant}"));
+    let p = b.param();
+    let tid = b.tid_x();
+    let byte = b.shl(tid, 2u32);
+    let addr = b.iadd(byte, p);
+    let v = b.ld_global(addr, 0);
+    let w = b.fmul(v, 1.0 + tenant as f32);
+    b.st_global(addr, 0, w);
+    b.build()
+}
+
+fn probe_spec(tenant: usize) -> WireLaunch {
+    let dims = LaunchDims {
+        grid: (8, 1),
+        block: (128, 1, 1),
+    };
+    let mut spec = WireLaunch::new(
+        probe_kernel(tenant),
+        dims,
+        vec![Value::from_u32(0)],
+        8 * 128 * 4,
+    );
+    spec.writes = (0..8 * 128).map(|i| (i * 4, i)).collect();
+    spec
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("g80-bench-serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.tenants)
+        .map(|t| {
+            let addr = args.addr.clone();
+            let requests = args.requests;
+            std::thread::spawn(move || -> std::io::Result<(Vec<Duration>, u64)> {
+                let mut client =
+                    Client::connect_retry(&addr, &format!("bench-{t}"), Duration::from_secs(10))?;
+                let spec = probe_spec(t);
+                let mut latencies = Vec::with_capacity(requests);
+                let mut cache_hits = 0u64;
+                for _ in 0..requests {
+                    let t0 = Instant::now();
+                    let result = client.launch(&spec)?;
+                    latencies.push(t0.elapsed());
+                    match result {
+                        Ok((report, _)) => {
+                            if report.served.from_cache() {
+                                cache_hits += 1;
+                            }
+                        }
+                        Err(e) => {
+                            return Err(std::io::Error::other(format!(
+                                "typed error from daemon: {e}"
+                            )))
+                        }
+                    }
+                }
+                Ok((latencies, cache_hits))
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut cache_hits = 0u64;
+    for w in workers {
+        match w.join() {
+            Ok(Ok((l, h))) => {
+                latencies.extend(l);
+                cache_hits += h;
+            }
+            Ok(Err(e)) => {
+                eprintln!("g80-bench-serve: tenant failed: {e}");
+                return ExitCode::from(1);
+            }
+            Err(_) => {
+                eprintln!("g80-bench-serve: tenant thread panicked");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let pct = |p: f64| latencies[((total - 1) as f64 * p) as usize];
+    let req_per_s = total as f64 / wall.as_secs_f64();
+    println!(
+        "g80-bench-serve: {} tenants x {} requests in {:.3}s  ({:.1} req/s)",
+        args.tenants,
+        args.requests,
+        wall.as_secs_f64(),
+        req_per_s
+    );
+    println!(
+        "g80-bench-serve: latency p50 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+        pct(0.50).as_secs_f64() * 1e3,
+        pct(0.99).as_secs_f64() * 1e3,
+        latencies[total - 1].as_secs_f64() * 1e3
+    );
+    println!("g80-bench-serve: {cache_hits}/{total} responses served from a cache tier");
+
+    let mut failed = false;
+    if let Some(ceiling) = args.p99_ms {
+        let p99 = pct(0.99).as_secs_f64() * 1e3;
+        if p99 > ceiling {
+            eprintln!("g80-bench-serve: p99 {p99:.3}ms exceeds the {ceiling}ms ceiling");
+            failed = true;
+        }
+    }
+    if args.expect_warm && cache_hits == 0 {
+        eprintln!("g80-bench-serve: --expect-warm but no response came from a cache tier");
+        failed = true;
+    }
+
+    if args.shutdown {
+        let r = Client::connect_retry(&args.addr, "bench-admin", Duration::from_secs(10))
+            .and_then(|mut c| c.shutdown());
+        if let Err(e) = r {
+            eprintln!("g80-bench-serve: shutdown failed: {e}");
+            return ExitCode::from(1);
+        }
+        println!("g80-bench-serve: daemon acknowledged shutdown");
+    }
+
+    if failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,233 @@
+//! Blocking client for the `g80-serve` daemon.
+//!
+//! A [`Client`] wraps one connection and one tenant identity. The typed
+//! request methods mirror the protocol: [`Client::launch`] for a single
+//! spec (returns the report plus the sparse memory delta),
+//! [`Client::batch`] / [`Client::sweep`] for streamed multi-spec requests,
+//! and [`Client::shutdown`] to drain the daemon.
+//!
+//! Injected-fault errors (the chaos CI runs the daemon under
+//! `G80_SIM_FAULTS`) are retried transparently by default — the
+//! serve-layer analogue of the in-process absorb-and-retry policy, which
+//! is what keeps results bit-identical under chaos. Disable with
+//! [`Client::set_retry_injected`] to observe raw typed faults.
+
+use crate::net::{connect, Addr, Stream};
+use crate::protocol::{
+    read_frame, write_frame, Request, Response, WireError, WireLaunch, PROTOCOL_VERSION,
+};
+use g80_sim::{LaunchReport, MemoCounters};
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Bound on transparent retries of injected faults; at the chaos CI's
+/// fault rates the expected retry count is single digits, so hitting this
+/// means something real is wrong.
+const MAX_INJECTED_RETRIES: u32 = 64;
+
+/// One connection to a daemon, speaking for one tenant.
+pub struct Client {
+    stream: Stream,
+    retry_injected: bool,
+}
+
+impl Client {
+    /// Connects and performs the Hello handshake.
+    pub fn connect(addr: &Addr, tenant: &str) -> io::Result<Client> {
+        let mut stream = connect(addr)?;
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+                tenant: tenant.to_string(),
+            }
+            .encode(),
+        )?;
+        match read_response(&mut stream)? {
+            Response::HelloOk { .. } => Ok(Client {
+                stream,
+                retry_injected: true,
+            }),
+            Response::Error(e) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("handshake rejected: {e}"),
+            )),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected handshake response",
+            )),
+        }
+    }
+
+    /// [`Client::connect`], retried until `timeout` — covers the race
+    /// between starting a daemon process and its socket existing (CI
+    /// scripts, benches).
+    pub fn connect_retry(addr: &Addr, tenant: &str, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr, tenant) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// When set (the default), requests failing with an injected-fault
+    /// error are resent transparently.
+    pub fn set_retry_injected(&mut self, on: bool) {
+        self.retry_injected = on;
+    }
+
+    /// Sends one request frame and returns the raw response — chaos tests
+    /// use this to observe typed faults without retry.
+    pub fn request_raw(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        read_response(&mut self.stream)
+    }
+
+    /// Runs one launch. The outer `Err` is transport failure; the inner
+    /// `Err` is a typed daemon-side error. On success: the report plus the
+    /// sparse `(byte_addr, word)` delta of device memory.
+    #[allow(clippy::type_complexity)]
+    pub fn launch(
+        &mut self,
+        spec: &WireLaunch,
+    ) -> io::Result<Result<(LaunchReport, Vec<(u32, u32)>), WireError>> {
+        let req = Request::Launch(spec.clone());
+        let mut tries = 0;
+        loop {
+            let resp = self.request_raw(&req)?;
+            let result = match resp {
+                Response::Launch { result } => result,
+                Response::Error(e) => Err(e),
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "unexpected response to Launch",
+                    ))
+                }
+            };
+            match result {
+                Err(e)
+                    if self.retry_injected && e.is_injected() && tries < MAX_INJECTED_RETRIES =>
+                {
+                    tries += 1;
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Runs a batch: every spec executed in order, results streamed back.
+    /// Returns per-item results plus the daemon's cache-counter delta for
+    /// the whole request.
+    #[allow(clippy::type_complexity)]
+    pub fn batch(
+        &mut self,
+        specs: &[WireLaunch],
+    ) -> io::Result<Result<(Vec<Result<LaunchReport, WireError>>, MemoCounters), WireError>> {
+        self.multi(Request::Batch(specs.to_vec()), specs.len())
+    }
+
+    /// Runs a sweep (same execution as a batch in protocol v1; the
+    /// distinct tag lets sweep-aware scheduling evolve without a version
+    /// bump). Pair with `SweepResult::from_parts` to reassemble a tuner
+    /// result from the streamed rows.
+    #[allow(clippy::type_complexity)]
+    pub fn sweep(
+        &mut self,
+        specs: &[WireLaunch],
+    ) -> io::Result<Result<(Vec<Result<LaunchReport, WireError>>, MemoCounters), WireError>> {
+        self.multi(Request::Sweep(specs.to_vec()), specs.len())
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn multi(
+        &mut self,
+        req: Request,
+        n: usize,
+    ) -> io::Result<Result<(Vec<Result<LaunchReport, WireError>>, MemoCounters), WireError>> {
+        let mut tries = 0;
+        'retry: loop {
+            write_frame(&mut self.stream, &req.encode())?;
+            let mut items: Vec<Result<LaunchReport, WireError>> =
+                (0..n).map(|_| Err(WireError::Shutdown)).collect();
+            loop {
+                match read_response(&mut self.stream)? {
+                    Response::Item { index, result } => {
+                        let slot = items.get_mut(index as usize).ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("item index {index} out of range"),
+                            )
+                        })?;
+                        *slot = result;
+                    }
+                    Response::Done { counters } => {
+                        let injected = items
+                            .iter()
+                            .any(|r| r.as_ref().is_err_and(WireError::is_injected));
+                        if injected && self.retry_injected && tries < MAX_INJECTED_RETRIES {
+                            tries += 1;
+                            continue 'retry;
+                        }
+                        return Ok(Ok((items, counters)));
+                    }
+                    Response::Error(e) => {
+                        // Request-level error: no Item/Done stream follows.
+                        if self.retry_injected && e.is_injected() && tries < MAX_INJECTED_RETRIES {
+                            tries += 1;
+                            continue 'retry;
+                        }
+                        return Ok(Err(e));
+                    }
+                    _ => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "unexpected response in batch stream",
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let mut tries = 0;
+        loop {
+            match self.request_raw(&Request::Shutdown)? {
+                Response::ShutdownOk => return Ok(()),
+                Response::Error(e)
+                    if self.retry_injected && e.is_injected() && tries < MAX_INJECTED_RETRIES =>
+                {
+                    tries += 1;
+                }
+                Response::Error(e) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("shutdown rejected: {e}"),
+                    ))
+                }
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "unexpected response to Shutdown",
+                    ))
+                }
+            }
+        }
+    }
+}
+
+fn read_response(stream: &mut Stream) -> io::Result<Response> {
+    let Some(frame) = read_frame(stream)? else {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection",
+        ));
+    };
+    Response::decode(&frame)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "undecodable response frame"))
+}

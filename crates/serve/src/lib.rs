@@ -1,0 +1,44 @@
+//! # g80-serve: simulation-as-a-service over the shared substrate
+//!
+//! One simulator process has expensive warm state: a work-stealing pool
+//! sized to the host, a launch-memo LRU, and optionally a persistent disk
+//! cache. This crate turns that process into a daemon so many clients —
+//! tuning sweeps, CI probes, batch experiments — share the warmth instead
+//! of each paying cold-start and duplicating identical launches.
+//!
+//! The pieces:
+//!
+//! * [`protocol`] — versioned, hand-rolled wire format: length-prefixed
+//!   frames carrying typed [`Request`]/[`Response`] values. Kernels,
+//!   launch dims, params, and initial memory travel in a [`WireLaunch`];
+//!   results come back as serialized `LaunchReport`s with [`Served`]
+//!   provenance and cache counters, so a client can tell *how* its answer
+//!   was produced (simulated here, memo hit, disk hit).
+//! * [`admission`] — per-tenant quotas (blocks per launch, in-flight
+//!   blocks, queue depth) with round-robin fairness, so a tenant sweeping
+//!   matmul-4096 cannot starve a probe fleet.
+//! * [`server`] — the daemon: accept loop, per-connection threads, typed
+//!   error responses for every failure (malformed frames, injected
+//!   faults, panics, quota rejections, drain), never a dropped
+//!   connection.
+//! * [`client`] — blocking typed client with transparent retry of
+//!   injected-fault errors.
+//!
+//! Every launch runs through `g80_sim::launch_reported` on the daemon's
+//! process-wide pool and caches, so stats are bit-identical to an
+//! in-process `launch` with the same `GpuConfig` — the golden cross-check
+//! in `tests/serve_daemon.rs` asserts exactly that.
+//!
+//! [`Served`]: g80_sim::Served
+
+pub mod admission;
+pub mod client;
+pub mod net;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, Quota, Verdict};
+pub use client::Client;
+pub use net::Addr;
+pub use protocol::{Request, Response, WireError, WireLaunch, PROTOCOL_VERSION};
+pub use server::{serve, ServeConfig, Server};

@@ -1,0 +1,503 @@
+//! The daemon: accept loop, per-connection handlers, request execution.
+//!
+//! One process hosts the shared substrate — the work-stealing pool, the
+//! launch memo LRU, and (when `G80_SIM_DISK_CACHE` is set) the persistent
+//! disk tier — and every connection's launches run through it, so tenants
+//! warm each other's caches. Each connection is one thread; each request
+//! is admitted by the [`crate::admission`] controller before it touches
+//! the pool.
+//!
+//! Failure behaviour (the hardened paths the chaos job exercises):
+//!
+//! * every per-request step runs under `catch_unwind`, so an injected
+//!   panic (or a genuine handler bug) becomes a typed
+//!   [`Response::Error`], never a dropped connection;
+//! * the `serve.decode` fault site tampers with request decoding — a
+//!   typed tamper yields [`WireError::Fault`] with the frame already
+//!   consumed, so framing stays synchronized and the client can resend;
+//! * only an oversized frame header (framing desync) or a transport error
+//!   closes a connection.
+//!
+//! Shutdown is a protocol request, not a signal: [`Request::Shutdown`]
+//! flips the drain flag, the accept loop stops, idle connections close at
+//! their next poll tick, in-flight requests finish, and [`Server::join`]
+//! returns once the last handler exits.
+
+use crate::admission::{Admission, Quota, Verdict};
+use crate::net::{Addr, Listener, Stream};
+use crate::protocol::{
+    write_frame, Request, Response, WireError, WireLaunch, MAX_FRAME_BYTES, MAX_MEM_BYTES,
+    PROTOCOL_VERSION,
+};
+use g80_sim::fault::{self, Site};
+use g80_sim::{
+    launch_reported, memo_counters, DeviceMemory, GpuConfig, LaunchReport, MemoCounters,
+};
+use std::io::{self, Read};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Daemon configuration. Construct directly in tests; [`from_env`] reads
+/// the `G80_SERVE_*` toggles.
+///
+/// [`from_env`]: ServeConfig::from_env
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address.
+    pub addr: Addr,
+    /// Per-tenant admission quotas.
+    pub quota: Quota,
+    /// The simulated machine every request runs on.
+    pub gpu: GpuConfig,
+}
+
+impl ServeConfig {
+    /// Reads `G80_SERVE_ADDR` (default `tcp:127.0.0.1:7808`),
+    /// `G80_SERVE_TENANT_BLOCKS` (per-tenant in-flight block budget, which
+    /// is also the per-launch cap), `G80_SERVE_TENANT_QUEUE` (waiting
+    /// requests per tenant), and `G80_SERVE_MAX_BLOCKS` (global in-flight
+    /// budget). Unset or unparsable values keep the [`Quota::default`].
+    pub fn from_env() -> io::Result<Self> {
+        let addr = match std::env::var("G80_SERVE_ADDR") {
+            Ok(v) => Addr::parse(&v)?,
+            Err(_) => Addr::Tcp("127.0.0.1:7808".into()),
+        };
+        let mut quota = Quota::default();
+        if let Some(v) = env_u64("G80_SERVE_TENANT_BLOCKS") {
+            quota.max_inflight_blocks = v;
+            quota.max_blocks_per_launch = v;
+        }
+        if let Some(v) = env_u64("G80_SERVE_TENANT_QUEUE") {
+            quota.max_queued = v as usize;
+        }
+        if let Some(v) = env_u64("G80_SERVE_MAX_BLOCKS") {
+            quota.max_total_blocks = v;
+        }
+        Ok(ServeConfig {
+            addr,
+            quota,
+            gpu: GpuConfig::geforce_8800_gtx(),
+        })
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// How often idle waits (accept loop, idle connections, drain) poll the
+/// shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+struct Shared {
+    admission: Arc<Admission>,
+    gpu: GpuConfig,
+    shutting_down: AtomicBool,
+    /// Open connections; drain completes when this reaches zero.
+    active: Mutex<u64>,
+    idle_cv: Condvar,
+    /// Served-request counter (metrics; exposed for tests).
+    requests: AtomicU64,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+}
+
+/// A running daemon. Dropping the handle does NOT stop it; send a
+/// [`Request::Shutdown`] (or call [`Server::trigger_shutdown`]) and then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    bound: Addr,
+    accept_thread: thread::JoinHandle<io::Result<()>>,
+}
+
+impl Server {
+    /// The concrete bound address (ephemeral TCP ports resolved).
+    pub fn local_addr(&self) -> &Addr {
+        &self.bound
+    }
+
+    /// Flips the drain flag without a client connection (tests, signal
+    /// bridges). Idempotent.
+    pub fn trigger_shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Requests served so far (any response counts, including typed
+    /// errors).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the daemon has drained: shutdown triggered, accept
+    /// loop exited, and every connection handler finished.
+    pub fn join(self) -> io::Result<()> {
+        let r = self
+            .accept_thread
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("accept loop panicked")));
+        let mut active = fault::lock_recover(&self.shared.active);
+        while *active > 0 {
+            let (g, _) = self
+                .shared
+                .idle_cv
+                .wait_timeout(active, POLL_TICK)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            active = g;
+        }
+        r
+    }
+}
+
+/// Binds the configured address and starts serving. Returns immediately;
+/// the daemon runs on background threads until a shutdown request drains
+/// it.
+pub fn serve(cfg: ServeConfig) -> io::Result<Server> {
+    let (listener, bound) = Listener::bind(&cfg.addr)?;
+    let shared = Arc::new(Shared {
+        admission: Admission::new(cfg.quota),
+        gpu: cfg.gpu,
+        shutting_down: AtomicBool::new(false),
+        active: Mutex::new(0),
+        idle_cv: Condvar::new(),
+        requests: AtomicU64::new(0),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = thread::Builder::new()
+        .name("g80-serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .map_err(io::Error::other)?;
+    Ok(Server {
+        shared,
+        bound,
+        accept_thread,
+    })
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>) -> io::Result<()> {
+    loop {
+        if shared.shutting_down() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok(Some(stream)) => {
+                *fault::lock_recover(&shared.active) += 1;
+                let conn_shared = Arc::clone(&shared);
+                let spawned =
+                    thread::Builder::new()
+                        .name("g80-serve-conn".into())
+                        .spawn(move || {
+                            // Connection-level transport errors are expected
+                            // (peers vanish); they end the connection, not the
+                            // daemon.
+                            let _ = handle_connection(stream, &conn_shared);
+                            let mut active = fault::lock_recover(&conn_shared.active);
+                            *active -= 1;
+                            drop(active);
+                            conn_shared.idle_cv.notify_all();
+                        });
+                if spawned.is_err() {
+                    let mut active = fault::lock_recover(&shared.active);
+                    *active -= 1;
+                    drop(active);
+                    shared.idle_cv.notify_all();
+                }
+            }
+            Ok(None) => thread::sleep(POLL_TICK),
+            Err(_) => thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+/// Reads one frame, polling the drain flag while idle. `Ok(None)` = the
+/// peer closed, or the daemon is draining and no frame has started.
+fn read_frame_poll(stream: &mut Stream, shared: &Shared) -> io::Result<Option<Vec<u8>>> {
+    let mut hdr = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        if got == 0 && shared.shutting_down() {
+            return Ok(None);
+        }
+        match stream.read(&mut hdr[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                }
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(hdr);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame header declares {len} bytes"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0;
+    // Mid-frame: the bytes are committed, keep reading through timeouts.
+    while got < payload.len() {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+fn send(stream: &mut Stream, resp: &Response) -> io::Result<()> {
+    write_frame(stream, &resp.encode())
+}
+
+fn handle_connection(mut stream: Stream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_TICK))?;
+
+    // Handshake: the first frame must be a version-matched Hello.
+    let tenant = {
+        let Some(frame) = read_frame_poll(&mut stream, shared)? else {
+            return Ok(());
+        };
+        match Request::decode(&frame) {
+            Some(Request::Hello { version, tenant }) if version == PROTOCOL_VERSION => {
+                send(
+                    &mut stream,
+                    &Response::HelloOk {
+                        version: PROTOCOL_VERSION,
+                    },
+                )?;
+                tenant
+            }
+            Some(Request::Hello { version, .. }) => {
+                send(
+                    &mut stream,
+                    &Response::Error(WireError::Malformed(format!(
+                        "protocol version mismatch: client {version}, daemon {PROTOCOL_VERSION}"
+                    ))),
+                )?;
+                return Ok(());
+            }
+            _ => {
+                send(
+                    &mut stream,
+                    &Response::Error(WireError::Malformed(
+                        "expected Hello as the first request".into(),
+                    )),
+                )?;
+                return Ok(());
+            }
+        }
+    };
+
+    loop {
+        let Some(frame) = read_frame_poll(&mut stream, shared)? else {
+            return Ok(());
+        };
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        // The whole decode+execute path is unwind-safe: a panic (injected
+        // at serve.decode or genuine) becomes a typed response on the
+        // still-synchronized connection. The device memory a panicking
+        // request may have touched is request-local, so no shared state is
+        // left inconsistent.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_request(&frame, &tenant, shared, &mut stream)
+        }));
+        match outcome {
+            Ok(Ok(ControlFlow::Continue)) => {}
+            Ok(Ok(ControlFlow::Close)) => return Ok(()),
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                let msg = fault::payload_str(payload.as_ref())
+                    .unwrap_or("non-string panic payload")
+                    .to_string();
+                send(&mut stream, &Response::Error(WireError::Panic(msg)))?;
+            }
+        }
+    }
+}
+
+enum ControlFlow {
+    Continue,
+    Close,
+}
+
+fn handle_request(
+    frame: &[u8],
+    tenant: &str,
+    shared: &Shared,
+    stream: &mut Stream,
+) -> io::Result<ControlFlow> {
+    // The serve-layer fault site: a typed tamper treats this frame as
+    // corrupt. The frame is already consumed, so the error is a value and
+    // the connection survives (a panic-kind fault unwinds into the
+    // catch_unwind above — same guarantee).
+    if fault::tamper(Site::ServeDecode) {
+        send(
+            stream,
+            &Response::Error(WireError::Fault {
+                site: Site::ServeDecode.name().into(),
+            }),
+        )?;
+        return Ok(ControlFlow::Continue);
+    }
+    let Some(req) = Request::decode(frame) else {
+        send(
+            stream,
+            &Response::Error(WireError::Malformed("undecodable request frame".into())),
+        )?;
+        return Ok(ControlFlow::Continue);
+    };
+    match req {
+        Request::Hello { .. } => {
+            send(
+                stream,
+                &Response::Error(WireError::Malformed("duplicate Hello".into())),
+            )?;
+            Ok(ControlFlow::Continue)
+        }
+        Request::Shutdown => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            send(stream, &Response::ShutdownOk)?;
+            Ok(ControlFlow::Close)
+        }
+        Request::Launch(spec) => {
+            if shared.shutting_down() {
+                send(stream, &Response::Error(WireError::Shutdown))?;
+                return Ok(ControlFlow::Continue);
+            }
+            let result = run_spec(shared, tenant, &spec, true).map(|(r, d)| (r, d.unwrap()));
+            send(stream, &Response::Launch { result })?;
+            Ok(ControlFlow::Continue)
+        }
+        Request::Batch(specs) | Request::Sweep(specs) => {
+            if shared.shutting_down() {
+                send(stream, &Response::Error(WireError::Shutdown))?;
+                return Ok(ControlFlow::Continue);
+            }
+            let before = memo_counters();
+            for (i, spec) in specs.iter().enumerate() {
+                let result = run_spec(shared, tenant, spec, false).map(|(r, _)| r);
+                send(
+                    stream,
+                    &Response::Item {
+                        index: i as u32,
+                        result,
+                    },
+                )?;
+            }
+            send(
+                stream,
+                &Response::Done {
+                    counters: counter_delta(before, memo_counters()),
+                },
+            )?;
+            Ok(ControlFlow::Continue)
+        }
+    }
+}
+
+/// Validates, admits, and runs one spec. `want_delta` controls whether
+/// device memory is diffed around the launch (single launches return
+/// results; batch/sweep items are measurement-only).
+#[allow(clippy::type_complexity)]
+fn run_spec(
+    shared: &Shared,
+    tenant: &str,
+    spec: &WireLaunch,
+    want_delta: bool,
+) -> Result<(LaunchReport, Option<Vec<(u32, u32)>>), WireError> {
+    if spec.mem_bytes > MAX_MEM_BYTES {
+        return Err(WireError::Malformed(format!(
+            "mem_bytes {} exceeds the {MAX_MEM_BYTES}-byte cap",
+            spec.mem_bytes
+        )));
+    }
+    spec.kernel
+        .validate()
+        .map_err(|e| WireError::Malformed(format!("kernel {}: {e}", spec.kernel.name)))?;
+    let words = (spec.mem_bytes as u64).div_ceil(4);
+    for &(addr, _) in &spec.writes {
+        if addr % 4 != 0 || (addr / 4) as u64 >= words {
+            return Err(WireError::Malformed(format!(
+                "initial write at {addr:#x} is unaligned or out of bounds"
+            )));
+        }
+    }
+    if let Some((base, len)) = spec.tex_binding {
+        if (base as u64) + (len as u64) > spec.mem_bytes as u64 {
+            return Err(WireError::Malformed(format!(
+                "texture binding {base:#x}+{len:#x} exceeds device memory"
+            )));
+        }
+    }
+
+    let permit = match shared.admission.admit(tenant, spec.dims.total_blocks()) {
+        Verdict::Admitted(p) => p,
+        Verdict::Rejected(reason) => return Err(WireError::Rejected(reason)),
+        Verdict::Throttled(reason) => return Err(WireError::Throttled(reason)),
+    };
+
+    let mut mem = DeviceMemory::new(spec.mem_bytes);
+    mem.const_bank = spec.const_bank.clone();
+    mem.tex_binding = spec.tex_binding;
+    for &(addr, word) in &spec.writes {
+        mem.write(addr, g80_isa::Value(word));
+    }
+    let before = want_delta.then(|| mem.snapshot_words());
+    let report = launch_reported(&shared.gpu, &spec.kernel, spec.dims, &spec.params, &mem)
+        .map_err(|e| WireError::from(&e))?;
+    drop(permit);
+    let delta = before.map(|before| {
+        let after = mem.snapshot_words();
+        before
+            .iter()
+            .zip(after.iter())
+            .enumerate()
+            .filter(|(_, (b, a))| b != a)
+            .map(|(i, (_, a))| ((i * 4) as u32, *a))
+            .collect()
+    });
+    Ok((report, delta))
+}
+
+fn counter_delta(before: MemoCounters, after: MemoCounters) -> MemoCounters {
+    MemoCounters {
+        hits: after.hits.saturating_sub(before.hits),
+        misses: after.misses.saturating_sub(before.misses),
+        disk_hits: after.disk_hits.saturating_sub(before.disk_hits),
+        disk_misses: after.disk_misses.saturating_sub(before.disk_misses),
+        disk_evictions: after.disk_evictions.saturating_sub(before.disk_evictions),
+        dedup_fast_blocks: after
+            .dedup_fast_blocks
+            .saturating_sub(before.dedup_fast_blocks),
+        dedup_sim_blocks: after
+            .dedup_sim_blocks
+            .saturating_sub(before.dedup_sim_blocks),
+        dedup_fallbacks: after.dedup_fallbacks.saturating_sub(before.dedup_fallbacks),
+    }
+}

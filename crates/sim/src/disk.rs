@@ -30,8 +30,7 @@
 use crate::counters::KernelStats;
 use crate::fault::{self, lock_recover, Site};
 use crate::memo::Mix64;
-use g80_isa::InstClass;
-use std::collections::HashMap;
+use crate::wire::{self, Dec, Enc};
 use std::fs;
 use std::hash::Hasher;
 use std::path::{Path, PathBuf};
@@ -159,122 +158,12 @@ fn checksum(payload: &[u8]) -> u64 {
     h.finish()
 }
 
-struct Enc(Vec<u8>);
-
-impl Enc {
-    fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-    fn str(&mut self, s: &str) {
-        self.u64(s.len() as u64);
-        self.0.extend_from_slice(s.as_bytes());
-    }
-}
-
-struct Dec<'a>(&'a [u8]);
-
-impl<'a> Dec<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        if self.0.len() < n {
-            return None;
-        }
-        let (head, tail) = self.0.split_at(n);
-        self.0 = tail;
-        Some(head)
-    }
-    fn u32(&mut self) -> Option<u32> {
-        self.take(4)
-            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
-    }
-    fn u64(&mut self) -> Option<u64> {
-        self.take(8)
-            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-    }
-    fn f64(&mut self) -> Option<f64> {
-        self.u64().map(f64::from_bits)
-    }
-    fn str(&mut self) -> Option<String> {
-        let len = self.u64()?;
-        let bytes = self.take(usize::try_from(len).ok()?)?;
-        String::from_utf8(bytes.to_vec()).ok()
-    }
-}
-
-fn stall_from_u8(v: u8) -> Option<crate::counters::StallReason> {
-    use crate::counters::StallReason::*;
-    Some(match v {
-        0 => Memory,
-        1 => AluDependency,
-        2 => Barrier,
-        3 => IssueBusy,
-        4 => Drain,
-        _ => return None,
-    })
-}
-
-/// Serializes a memo entry's payload. Field order is the format; HashMaps
-/// are written sorted by their dense index so equal entries serialize to
-/// equal bytes regardless of iteration order.
+/// Serializes a memo entry's payload: the canonical [`wire::encode_stats`]
+/// bytes followed by the sparse write-delta. Any change to either part
+/// must bump [`FORMAT_VERSION`].
 fn encode_payload(stats: &KernelStats, delta: &[(u32, u32)]) -> Vec<u8> {
-    let mut e = Enc(Vec::with_capacity(512 + delta.len() * 8));
-    e.str(&stats.name);
-    e.u64(stats.cycles);
-    e.f64(stats.elapsed);
-    e.u64(stats.warp_instructions);
-    e.u64(stats.thread_instructions);
-    e.u64(stats.flops);
-    e.u64(stats.global_ld_transactions);
-    e.u64(stats.global_st_transactions);
-    e.u64(stats.global_bytes);
-    e.u64(stats.coalesced_half_warps);
-    e.u64(stats.uncoalesced_half_warps);
-    e.u64(stats.smem_conflict_extra_cycles);
-    e.u64(stats.divergent_branches);
-    e.u64(stats.tex_hits);
-    e.u64(stats.tex_misses);
-    e.u64(stats.const_hits);
-    e.u64(stats.const_misses);
-    e.u64(stats.atomic_transactions);
-    e.u64(stats.blocks_executed);
-    e.u32(stats.regs_per_thread);
-    e.u32(stats.smem_per_block);
-    e.u32(stats.threads_per_block);
-    e.u32(stats.blocks_per_sm);
-    e.u32(stats.max_simultaneous_threads);
-    e.u64(stats.total_threads);
-    e.f64(stats.clock_ghz);
-    e.f64(stats.dram_bytes_per_cycle);
-    e.u32(stats.num_sms);
-    e.u32(stats.max_warps_per_sm);
-    e.u32(stats.warp_size);
-    let mut classes: Vec<(usize, u64)> = stats
-        .by_class
-        .iter()
-        .map(|(k, v)| (k.index(), *v))
-        .collect();
-    classes.sort_unstable();
-    e.u32(classes.len() as u32);
-    for (k, v) in classes {
-        e.u32(k as u32);
-        e.u64(v);
-    }
-    let mut stalls: Vec<(u8, u64)> = stats
-        .stall_cycles
-        .iter()
-        .map(|(k, v)| (*k as u8, *v))
-        .collect();
-    stalls.sort_unstable();
-    e.u32(stalls.len() as u32);
-    for (k, v) in stalls {
-        e.u32(k as u32);
-        e.u64(v);
-    }
+    let mut e = Enc::with_capacity(512 + delta.len() * 8);
+    wire::encode_stats(&mut e, stats);
     e.u64(delta.len() as u64);
     for &(i, w) in delta {
         e.u32(i);
@@ -285,54 +174,7 @@ fn encode_payload(stats: &KernelStats, delta: &[(u32, u32)]) -> Vec<u8> {
 
 fn decode_payload(payload: &[u8]) -> Option<(KernelStats, Vec<(u32, u32)>)> {
     let mut d = Dec(payload);
-    let mut stats = KernelStats {
-        name: d.str()?,
-        cycles: d.u64()?,
-        elapsed: d.f64()?,
-        warp_instructions: d.u64()?,
-        thread_instructions: d.u64()?,
-        flops: d.u64()?,
-        by_class: HashMap::new(),
-        global_ld_transactions: d.u64()?,
-        global_st_transactions: d.u64()?,
-        global_bytes: d.u64()?,
-        coalesced_half_warps: d.u64()?,
-        uncoalesced_half_warps: d.u64()?,
-        smem_conflict_extra_cycles: d.u64()?,
-        divergent_branches: d.u64()?,
-        tex_hits: d.u64()?,
-        tex_misses: d.u64()?,
-        const_hits: d.u64()?,
-        const_misses: d.u64()?,
-        atomic_transactions: d.u64()?,
-        stall_cycles: HashMap::new(),
-        blocks_executed: d.u64()?,
-        regs_per_thread: d.u32()?,
-        smem_per_block: d.u32()?,
-        threads_per_block: d.u32()?,
-        blocks_per_sm: d.u32()?,
-        max_simultaneous_threads: d.u32()?,
-        total_threads: d.u64()?,
-        clock_ghz: d.f64()?,
-        dram_bytes_per_cycle: d.f64()?,
-        num_sms: d.u32()?,
-        max_warps_per_sm: d.u32()?,
-        warp_size: d.u32()?,
-    };
-    let n_classes = d.u32()?;
-    for _ in 0..n_classes {
-        let idx = d.u32()?;
-        let v = d.u64()?;
-        let class = *InstClass::ALL.get(idx as usize)?;
-        stats.by_class.insert(class, v);
-    }
-    let n_stalls = d.u32()?;
-    for _ in 0..n_stalls {
-        let idx = d.u32()?;
-        let v = d.u64()?;
-        let reason = stall_from_u8(u8::try_from(idx).ok()?)?;
-        stats.stall_cycles.insert(reason, v);
-    }
+    let stats = wire::decode_stats(&mut d)?;
     let n_delta = d.u64()?;
     let n_delta = usize::try_from(n_delta).ok()?;
     if payload.len() < n_delta.checked_mul(8)? {
@@ -546,6 +388,7 @@ mod tests {
     use super::*;
     use crate::config::GpuConfig;
     use crate::counters::{SmStats, StallReason};
+    use g80_isa::InstClass;
 
     fn sample_stats() -> KernelStats {
         let cfg = GpuConfig::geforce_8800_gtx();

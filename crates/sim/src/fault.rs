@@ -58,11 +58,16 @@ pub enum Site {
     /// tampers with the entry (corrupt on-disk checksum / treat the loaded
     /// entry as corrupt), exercising the evict-and-resimulate path.
     DiskCache = 7,
+    /// `g80-serve` request deserialization: polled once per decoded frame.
+    /// A typed fault tampers with the frame (treat it as corrupt),
+    /// exercising the typed decode-error response path — the connection
+    /// must survive, never drop.
+    ServeDecode = 8,
 }
 
 impl Site {
     /// Every site, for soak tests and docs.
-    pub const ALL: [Site; 8] = [
+    pub const ALL: [Site; 9] = [
         Site::DeviceAlloc,
         Site::DeviceCopy,
         Site::Decode,
@@ -71,6 +76,7 @@ impl Site {
         Site::MemoLoad,
         Site::PoolWorker,
         Site::DiskCache,
+        Site::ServeDecode,
     ];
 
     /// Stable name, used in payloads and error messages.
@@ -84,6 +90,7 @@ impl Site {
             Site::MemoLoad => "memo.load",
             Site::PoolWorker => "pool.worker",
             Site::DiskCache => "memo.disk",
+            Site::ServeDecode => "serve.decode",
         }
     }
 
@@ -183,9 +190,9 @@ static RATE_BITS: AtomicU64 = AtomicU64::new(0);
 static KIND: AtomicU8 = AtomicU8::new(0);
 static SITES: AtomicU32 = AtomicU32::new(0);
 /// Per-site poll counters: the call index feeding the decision hash.
-static CALLS: [AtomicU64; 8] = [const { AtomicU64::new(0) }; 8];
+static CALLS: [AtomicU64; 9] = [const { AtomicU64::new(0) }; 9];
 /// Per-site counters of faults actually raised.
-static RAISED: [AtomicU64; 8] = [const { AtomicU64::new(0) }; 8];
+static RAISED: [AtomicU64; 9] = [const { AtomicU64::new(0) }; 9];
 /// Absorb-and-retry mode (default on): the launch/device layers retry
 /// injected-class failures after restoring memory, so an armed suite still
 /// passes. Soak tests turn it off to observe the per-launch `Err`s.

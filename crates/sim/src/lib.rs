@@ -66,8 +66,10 @@ pub mod memo;
 pub mod memory;
 pub mod pool;
 pub mod reference;
+pub mod report;
 pub mod sm;
 pub mod warp;
+pub mod wire;
 mod witness;
 
 pub use config::GpuConfig;
@@ -84,4 +86,5 @@ pub use memo::{
     set_memo, set_memo_capacity, Dedup, KernelInfo, Memo, MemoCounters, Served,
 };
 pub use memory::DeviceMemory;
+pub use report::{launch_reported, LaunchReport, REPORT_VERSION};
 pub use sm::LaunchDims;

@@ -1,0 +1,229 @@
+//! Serializable per-launch report: stats, cache-tier provenance, and the
+//! redundancy-elimination counters, in one struct.
+//!
+//! [`crate::launch_traced`] tells a caller *which tier* served a launch;
+//! the process-wide [`crate::memo_counters`] tell it how the cache tiers
+//! are doing overall — but before this module the two could only be
+//! combined by hand (`g80-cuda`'s `Timeline` does exactly that diffing).
+//! [`LaunchReport`] packages both, and serializes with the canonical
+//! [`crate::wire`] codec, so the same struct a host runtime inspects
+//! in-process is what the `g80-serve` daemon streams to remote tenants —
+//! a client can see not just its own launch's provenance but the shared
+//! cache heat its fleet (and every other tenant's) has built up.
+
+use crate::config::GpuConfig;
+use crate::counters::KernelStats;
+use crate::launch::{launch_traced, LaunchError};
+use crate::memo::{memo_counters, MemoCounters, Served};
+use crate::memory::DeviceMemory;
+use crate::sm::LaunchDims;
+use crate::wire::{self, Dec, Enc};
+use g80_isa::{Kernel, Value};
+
+/// Everything one launch reports: the simulated counters, which cache tier
+/// answered, and a snapshot of the process-wide redundancy counters taken
+/// when the launch completed.
+///
+/// `counters` is a *snapshot of totals*, not a per-launch delta: totals
+/// are race-free under concurrent launches (a delta would attribute other
+/// threads' traffic to this launch), and successive reports let a caller
+/// diff for itself.
+#[derive(Clone, Debug)]
+pub struct LaunchReport {
+    /// The launch's performance counters, bit-identical to what
+    /// [`crate::launch`] returns for the same spec.
+    pub stats: KernelStats,
+    /// Which tier served this launch (fresh simulation, in-process memo
+    /// LRU, or the persistent disk tier).
+    pub served: Served,
+    /// Process-wide [`memo_counters`] observed at completion.
+    pub counters: MemoCounters,
+}
+
+/// Bumped on any change to [`LaunchReport::encode`]'s byte layout (which
+/// includes the embedded [`wire::encode_stats`] layout).
+pub const REPORT_VERSION: u16 = 1;
+
+fn served_to_u8(s: Served) -> u8 {
+    match s {
+        Served::Simulated => 0,
+        Served::Memo => 1,
+        Served::Disk => 2,
+    }
+}
+
+fn served_from_u8(v: u8) -> Option<Served> {
+    Some(match v {
+        0 => Served::Simulated,
+        1 => Served::Memo,
+        2 => Served::Disk,
+        _ => return None,
+    })
+}
+
+impl LaunchReport {
+    /// Appends the canonical encoding to `e`.
+    pub fn encode_into(&self, e: &mut Enc) {
+        e.u16(REPORT_VERSION);
+        e.u8(served_to_u8(self.served));
+        e.u64(self.counters.hits);
+        e.u64(self.counters.misses);
+        e.u64(self.counters.disk_hits);
+        e.u64(self.counters.disk_misses);
+        e.u64(self.counters.disk_evictions);
+        e.u64(self.counters.dedup_fast_blocks);
+        e.u64(self.counters.dedup_sim_blocks);
+        e.u64(self.counters.dedup_fallbacks);
+        wire::encode_stats(e, &self.stats);
+    }
+
+    /// The canonical encoding as a fresh byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(640);
+        self.encode_into(&mut e);
+        e.0
+    }
+
+    /// Decodes a report from `d`, leaving trailing bytes unconsumed.
+    /// Returns `None` on truncation, version skew, or an unknown tag.
+    pub fn decode_from(d: &mut Dec) -> Option<Self> {
+        if d.u16()? != REPORT_VERSION {
+            return None;
+        }
+        let served = served_from_u8(d.u8()?)?;
+        let counters = MemoCounters {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            disk_hits: d.u64()?,
+            disk_misses: d.u64()?,
+            disk_evictions: d.u64()?,
+            dedup_fast_blocks: d.u64()?,
+            dedup_sim_blocks: d.u64()?,
+            dedup_fallbacks: d.u64()?,
+        };
+        let stats = wire::decode_stats(d)?;
+        Some(LaunchReport {
+            stats,
+            served,
+            counters,
+        })
+    }
+
+    /// Decodes a standalone encoding (rejects trailing garbage).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut d = Dec(bytes);
+        let r = Self::decode_from(&mut d)?;
+        if !d.is_empty() {
+            return None;
+        }
+        Some(r)
+    }
+}
+
+/// [`launch_traced`], packaged as a [`LaunchReport`].
+pub fn launch_reported(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    dims: LaunchDims,
+    params: &[Value],
+    mem: &DeviceMemory,
+) -> Result<LaunchReport, LaunchError> {
+    let (stats, served) = launch_traced(cfg, kernel, dims, params, mem)?;
+    Ok(LaunchReport {
+        stats,
+        served,
+        counters: memo_counters(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::counters::SmStats;
+    use g80_isa::InstClass;
+
+    fn sample_report() -> LaunchReport {
+        let cfg = GpuConfig::geforce_8800_gtx();
+        let mut sm = SmStats {
+            cycles: 77,
+            warp_instructions: 5,
+            ..Default::default()
+        };
+        sm.by_class.insert(InstClass::Exit, 1);
+        LaunchReport {
+            stats: KernelStats::merge("r", &cfg, vec![sm], 4, 0, 32, 1, 1),
+            served: Served::Disk,
+            counters: MemoCounters {
+                hits: 1,
+                misses: 2,
+                disk_hits: 3,
+                disk_misses: 4,
+                disk_evictions: 5,
+                dedup_fast_blocks: 6,
+                dedup_sim_blocks: 7,
+                dedup_fallbacks: 8,
+            },
+        }
+    }
+
+    #[test]
+    fn report_roundtrips() {
+        let r = sample_report();
+        let bytes = r.encode();
+        let back = LaunchReport::decode(&bytes).expect("roundtrip");
+        assert_eq!(back.served, Served::Disk);
+        assert_eq!(back.counters, r.counters);
+        assert_eq!(back.stats.cycles, r.stats.cycles);
+        assert_eq!(back.stats.by_class, r.stats.by_class);
+        assert_eq!(bytes, back.encode(), "canonical re-encoding");
+    }
+
+    #[test]
+    fn report_rejects_skew_truncation_and_trailing_bytes() {
+        let r = sample_report();
+        let mut bytes = r.encode();
+        assert!(LaunchReport::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut skew = bytes.clone();
+        skew[0] ^= 0xff; // version
+        assert!(LaunchReport::decode(&skew).is_none());
+        bytes.push(0);
+        assert!(LaunchReport::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn launch_reported_matches_launch() {
+        use g80_isa::builder::KernelBuilder;
+        let mut b = KernelBuilder::new("report_double");
+        let buf = b.param();
+        let tid = b.tid_x();
+        let byte = b.shl(tid, 2u32);
+        let a = b.iadd(byte, buf);
+        let v = b.ld_global(a, 0);
+        let d = b.fadd(v, v);
+        b.st_global(a, 0, d);
+        let k = b.build();
+        let cfg = GpuConfig::geforce_8800_gtx();
+        let dims = LaunchDims {
+            grid: (1, 1),
+            block: (32, 1, 1),
+        };
+        let mk_mem = || {
+            let mem = DeviceMemory::new(256);
+            for i in 0..32u32 {
+                mem.write(i * 4, Value::from_f32(i as f32));
+            }
+            mem
+        };
+        let mem = mk_mem();
+        let report =
+            launch_reported(&cfg, &k, dims, &[Value::from_u32(0)], &mem).expect("launch ok");
+        let mem2 = mk_mem();
+        let direct =
+            crate::launch::launch(&cfg, &k, dims, &[Value::from_u32(0)], &mem2).expect("launch ok");
+        assert_eq!(report.stats.cycles, direct.cycles);
+        assert_eq!(report.stats.warp_instructions, direct.warp_instructions);
+        assert_eq!(report.stats.stall_cycles, direct.stall_cycles);
+        assert_eq!(mem.read(12).as_f32(), 6.0);
+    }
+}

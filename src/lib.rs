@@ -3,4 +3,5 @@ pub use g80_apps as apps;
 pub use g80_core as tune;
 pub use g80_cuda as cuda;
 pub use g80_isa as isa;
+pub use g80_serve as serve;
 pub use g80_sim as sim;

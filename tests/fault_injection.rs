@@ -558,6 +558,11 @@ fn soak_every_site_both_kinds(cfg: &GpuConfig) {
         "rate 0.08 over {launches} launches fired no launch-level fault"
     );
     for site in Site::ALL {
+        if site == Site::ServeDecode {
+            // Polled per decoded frame by the g80-serve daemon, which this
+            // in-process soak never runs; tests/serve_chaos.rs soaks it.
+            continue;
+        }
         assert!(
             fault::raised(site) > 0,
             "site {} never fired during the soak",

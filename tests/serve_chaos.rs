@@ -1,0 +1,141 @@
+//! Chaos contract for the serve layer: injected faults at the
+//! `serve.decode` site surface as *typed responses on a surviving
+//! connection*, never as dropped connections or a dead daemon.
+//!
+//! * typed kind → `WireError::Fault { site: "serve.decode" }`;
+//! * panic kind → `WireError::Panic("injected panic at ...")` — the
+//!   handler's unwind is caught, the frame stream stays synchronized;
+//! * both classify as injected, so the client's transparent retry
+//!   absorbs them at partial rates and launches stay bit-identical;
+//! * disarmed, the same connection serves normally and the daemon drains
+//!   cleanly.
+//!
+//! One `#[test]`: the fault toggles are process-global.
+
+use g80::isa::builder::KernelBuilder;
+use g80::isa::Value;
+use g80::serve::{
+    serve, Addr, Client, Quota, Request, Response, ServeConfig, WireError, WireLaunch,
+};
+use g80::sim::fault::{self, FaultConfig, FaultKind, Site};
+use g80::sim::{set_faults, GpuConfig, LaunchDims};
+
+fn probe_spec(salt: u32) -> WireLaunch {
+    let mut b = KernelBuilder::new("sc_probe");
+    let p = b.param();
+    let tid = b.tid_x();
+    let byte = b.shl(tid, 2u32);
+    let addr = b.iadd(byte, p);
+    let v = b.ld_global(addr, 0);
+    let w = b.iadd(v, salt);
+    b.st_global(addr, 0, w);
+    let mut spec = WireLaunch::new(
+        b.build(),
+        LaunchDims {
+            grid: (4, 1),
+            block: (64, 1, 1),
+        },
+        vec![Value::from_u32(0)],
+        4 * 64 * 4,
+    );
+    spec.writes = (0..4 * 64).map(|i| (i * 4, i * 3)).collect();
+    spec
+}
+
+#[test]
+fn serve_decode_faults_are_typed_and_survivable() {
+    set_faults(None);
+    let server = serve(ServeConfig {
+        addr: Addr::parse("tcp:127.0.0.1:0").unwrap(),
+        quota: Quota::default(),
+        gpu: GpuConfig::geforce_8800_gtx(),
+    })
+    .expect("bind daemon");
+    let addr = server.local_addr().clone();
+
+    let mut client = Client::connect(&addr, "chaos").expect("connect");
+    client.set_retry_injected(false);
+    let spec = probe_spec(5);
+    let req = Request::Launch(spec.clone());
+
+    // Golden response on the untampered connection.
+    let (golden, golden_delta) = match client.request_raw(&req).expect("transport") {
+        Response::Launch { result } => result.expect("clean launch"),
+        other => panic!("unexpected response {other:?}"),
+    };
+    assert!(!golden_delta.is_empty(), "the probe writes memory");
+
+    // ---- typed kind, rate 1.0: every frame is tampered ----
+    let raised_before = fault::raised(Site::ServeDecode);
+    set_faults(Some(
+        FaultConfig::new(0x5e27e, 1.0, Some(FaultKind::Typed)).only(Site::ServeDecode),
+    ));
+    for _ in 0..3 {
+        match client.request_raw(&req).expect("connection must survive") {
+            Response::Error(e) => {
+                assert!(e.is_injected(), "{e:?}");
+                match e {
+                    WireError::Fault { site } => assert_eq!(site, "serve.decode"),
+                    other => panic!("expected a typed Fault, got {other:?}"),
+                }
+            }
+            other => panic!("expected a typed Fault, got {other:?}"),
+        }
+    }
+
+    // ---- panic kind: the unwind is caught, the connection survives ----
+    set_faults(Some(
+        FaultConfig::new(0x5e27e, 1.0, Some(FaultKind::Panic)).only(Site::ServeDecode),
+    ));
+    match client.request_raw(&req).expect("connection must survive") {
+        Response::Error(e) => {
+            assert!(e.is_injected(), "{e:?}");
+            match e {
+                WireError::Panic(msg) => assert!(
+                    msg.starts_with("injected panic at "),
+                    "panic payload should classify: {msg}"
+                ),
+                other => panic!("expected a typed Panic, got {other:?}"),
+            }
+        }
+        other => panic!("expected a typed Panic, got {other:?}"),
+    }
+    assert!(
+        fault::raised(Site::ServeDecode) > raised_before,
+        "the serve.decode site never fired"
+    );
+
+    // ---- disarmed: the SAME connection serves bit-identically ----
+    set_faults(None);
+    match client.request_raw(&req).expect("transport") {
+        Response::Launch { result } => {
+            let (report, delta) = result.expect("clean launch after chaos");
+            assert_eq!(report.stats.cycles, golden.stats.cycles);
+            assert_eq!(
+                report.stats.warp_instructions,
+                golden.stats.warp_instructions
+            );
+            assert_eq!(delta, golden_delta);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // ---- partial rate + transparent retry: chaos is invisible ----
+    set_faults(Some(
+        FaultConfig::new(0xc4a05, 0.5, Some(FaultKind::Typed)).only(Site::ServeDecode),
+    ));
+    client.set_retry_injected(true);
+    for i in 0..8u32 {
+        let (report, delta) = client
+            .launch(&spec)
+            .expect("transport")
+            .expect("retry must absorb injected faults");
+        assert_eq!(report.stats.cycles, golden.stats.cycles, "iter {i}");
+        assert_eq!(delta, golden_delta, "iter {i}");
+    }
+    set_faults(None);
+
+    let mut admin = Client::connect(&addr, "admin").expect("admin connect");
+    admin.shutdown().expect("clean shutdown");
+    server.join().expect("drain");
+}
