@@ -195,6 +195,7 @@ mod tests {
                 kernel_cycles: 0,
                 memo_hits: 0,
                 disk_hits: 0,
+                rows: Default::default(),
             },
             cpu_kernel_s: 100.0,
             kernel_cpu_fraction: 0.5,

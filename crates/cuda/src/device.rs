@@ -131,6 +131,13 @@ pub struct Timeline {
     /// Launches answered from the persistent disk cache tier (replayed from
     /// a prior process's simulation; see [`g80_sim::set_disk_cache`]).
     pub disk_hits: u64,
+    /// Process-wide row-shape counters ([`g80_sim::row_counters`]) observed
+    /// when this device last recorded a kernel: how many warp-instruction
+    /// executions resolved through uniform/affine lane-row shapes versus
+    /// eager full-row evaluation. A snapshot of totals, like
+    /// [`g80_sim::LaunchReport`]'s — diff successive timelines to attribute
+    /// a window.
+    pub rows: g80_sim::RowCounters,
 }
 
 impl Timeline {
@@ -344,6 +351,7 @@ impl Device {
         t.launches += 1;
         t.memo_hits += (served == Served::Memo) as u64;
         t.disk_hits += (served == Served::Disk) as u64;
+        t.rows = g80_sim::row_counters();
     }
 
     /// The accumulated execution timeline.

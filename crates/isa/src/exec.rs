@@ -123,15 +123,176 @@ pub fn eval_cmp(op: CmpOp, ty: Scalar, a: Value, b: Value) -> Value {
 /// A whole-warp register row: one value per lane.
 pub type Row = [Value; 32];
 
+/// Runtime-detected AVX2 fast paths for the full-mask row evaluators.
+///
+/// Only ops whose AVX2 semantics are **bit-identical** to the scalar
+/// evaluators are implemented; the row kernels return `false` — having
+/// written nothing — for the rest, and the caller falls back to the scalar
+/// chunked loop. Deliberately excluded:
+///
+/// - `FMin`/`FMax`: `_mm256_min_ps` returns the second operand when either
+///   input is NaN and makes no ±0.0 guarantee, while `f32::min` returns
+///   the non-NaN operand.
+/// - The `Cvt*` ops: `_mm256_cvttps_epi32` saturates out-of-range inputs
+///   to `0x8000_0000`, while scalar `as` casts saturate to the target
+///   type's MIN/MAX.
+/// - `Ffma` stays multiply-then-add (`_mm256_mul_ps` + `_mm256_add_ps`),
+///   never `vfmadd`: the G80 model truncates the intermediate product.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::*;
+    use core::arch::x86_64::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// 0 = unprobed, 1 = absent, 2 = present.
+    static AVX2: AtomicU8 = AtomicU8::new(0);
+
+    /// Whether the AVX2 row kernels may run, probed once per process.
+    #[inline]
+    pub fn avx2() -> bool {
+        match AVX2.load(Ordering::Relaxed) {
+            0 => {
+                let has = std::arch::is_x86_feature_detected!("avx2");
+                AVX2.store(1 + has as u8, Ordering::Relaxed);
+                has
+            }
+            v => v == 2,
+        }
+    }
+
+    // `Value` is repr(transparent) over u32, so a `Row` is layout-compatible
+    // with `[u32; 32]` and 32-byte-unaligned loads/stores cover it exactly.
+    #[inline(always)]
+    unsafe fn ld(r: &Row, i: usize) -> __m256i {
+        _mm256_loadu_si256(r.as_ptr().add(i).cast())
+    }
+
+    #[inline(always)]
+    unsafe fn st(r: &mut Row, i: usize, v: __m256i) {
+        _mm256_storeu_si256(r.as_mut_ptr().add(i).cast(), v)
+    }
+
+    /// # Safety
+    /// AVX2 must be available (gate on [`avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn alu_row(op: AluOp, a: &Row, b: &Row, dst: &mut Row) -> bool {
+        macro_rules! bin {
+            (|$x:ident, $y:ident| $e:expr) => {{
+                for i in [0usize, 8, 16, 24] {
+                    let $x = ld(a, i);
+                    let $y = ld(b, i);
+                    st(dst, i, $e);
+                }
+                true
+            }};
+        }
+        macro_rules! binf {
+            ($f:ident) => {
+                bin!(|x, y| _mm256_castps_si256($f(_mm256_castsi256_ps(x), _mm256_castsi256_ps(y))))
+            };
+        }
+        match op {
+            AluOp::FAdd => binf!(_mm256_add_ps),
+            AluOp::FSub => binf!(_mm256_sub_ps),
+            AluOp::FMul => binf!(_mm256_mul_ps),
+            AluOp::IAdd => bin!(|x, y| _mm256_add_epi32(x, y)),
+            AluOp::ISub => bin!(|x, y| _mm256_sub_epi32(x, y)),
+            AluOp::IMul => bin!(|x, y| _mm256_mullo_epi32(x, y)),
+            AluOp::UMin => bin!(|x, y| _mm256_min_epu32(x, y)),
+            AluOp::UMax => bin!(|x, y| _mm256_max_epu32(x, y)),
+            AluOp::IMin => bin!(|x, y| _mm256_min_epi32(x, y)),
+            AluOp::IMax => bin!(|x, y| _mm256_max_epi32(x, y)),
+            AluOp::And => bin!(|x, y| _mm256_and_si256(x, y)),
+            AluOp::Or => bin!(|x, y| _mm256_or_si256(x, y)),
+            AluOp::Xor => bin!(|x, y| _mm256_xor_si256(x, y)),
+            // The scalar shifts mask the count to 5 bits; the variable-shift
+            // intrinsics shift out everything >= 32, so mask first.
+            AluOp::Shl => {
+                let m31 = _mm256_set1_epi32(31);
+                bin!(|x, y| _mm256_sllv_epi32(x, _mm256_and_si256(y, m31)))
+            }
+            AluOp::ShrU => {
+                let m31 = _mm256_set1_epi32(31);
+                bin!(|x, y| _mm256_srlv_epi32(x, _mm256_and_si256(y, m31)))
+            }
+            AluOp::ShrS => {
+                let m31 = _mm256_set1_epi32(31);
+                bin!(|x, y| _mm256_srav_epi32(x, _mm256_and_si256(y, m31)))
+            }
+            AluOp::FMin | AluOp::FMax | AluOp::Rotl => false,
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be available (gate on [`avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn un_row(op: UnOp, a: &Row, dst: &mut Row) -> bool {
+        macro_rules! un {
+            (|$x:ident| $e:expr) => {{
+                for i in [0usize, 8, 16, 24] {
+                    let $x = ld(a, i);
+                    st(dst, i, $e);
+                }
+                true
+            }};
+        }
+        match op {
+            UnOp::Mov => un!(|x| x),
+            UnOp::Not => {
+                let ones = _mm256_set1_epi32(-1);
+                un!(|x| _mm256_xor_si256(x, ones))
+            }
+            // Sign-bit ops are bit-exact on every input, NaNs included.
+            UnOp::FNeg => {
+                let sign = _mm256_set1_epi32(i32::MIN);
+                un!(|x| _mm256_xor_si256(x, sign))
+            }
+            UnOp::FAbs => {
+                let magnitude = _mm256_set1_epi32(i32::MAX);
+                un!(|x| _mm256_and_si256(x, magnitude))
+            }
+            UnOp::CvtF2I | UnOp::CvtI2F | UnOp::CvtF2U | UnOp::CvtU2F | UnOp::FFloor => false,
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be available (gate on [`avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn ffma_row(a: &Row, b: &Row, c: &Row, dst: &mut Row) {
+        for i in [0usize, 8, 16, 24] {
+            let p = _mm256_mul_ps(_mm256_castsi256_ps(ld(a, i)), _mm256_castsi256_ps(ld(b, i)));
+            let r = _mm256_add_ps(p, _mm256_castsi256_ps(ld(c, i)));
+            st(dst, i, _mm256_castps_si256(r));
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be available (gate on [`avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn imad_row(a: &Row, b: &Row, c: &Row, dst: &mut Row) {
+        for i in [0usize, 8, 16, 24] {
+            let p = _mm256_mullo_epi32(ld(a, i), ld(b, i));
+            st(dst, i, _mm256_add_epi32(p, ld(c, i)));
+        }
+    }
+}
+
 /// Only lanes set in `mask` are written; the rest keep their old value.
-/// The op match is loop-invariant, so the compiler specializes the loop
-/// per op (and vectorizes the full-mask case) — one call per warp
+/// The full-mask case runs the AVX2 kernel when the op has a bit-identical
+/// vector form (see [`simd`]), else an 8-lane chunked loop with the op
+/// match hoisted out, shaped for autovectorization. One call per warp
 /// instruction instead of one per lane.
 #[inline]
 pub fn eval_alu_row(op: AluOp, a: &Row, b: &Row, dst: &mut Row, mask: u32) {
     if mask == u32::MAX {
-        for l in 0..32 {
-            dst[l] = eval_alu(op, a[l], b[l]);
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2() && unsafe { simd::alu_row(op, a, b, dst) } {
+            return;
+        }
+        for o in [0usize, 8, 16, 24] {
+            for j in 0..8 {
+                dst[o + j] = eval_alu(op, a[o + j], b[o + j]);
+            }
         }
     } else {
         for l in 0..32 {
@@ -146,8 +307,14 @@ pub fn eval_alu_row(op: AluOp, a: &Row, b: &Row, dst: &mut Row, mask: u32) {
 #[inline]
 pub fn eval_un_row(op: UnOp, a: &Row, dst: &mut Row, mask: u32) {
     if mask == u32::MAX {
-        for l in 0..32 {
-            dst[l] = eval_un(op, a[l]);
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2() && unsafe { simd::un_row(op, a, dst) } {
+            return;
+        }
+        for o in [0usize, 8, 16, 24] {
+            for j in 0..8 {
+                dst[o + j] = eval_un(op, a[o + j]);
+            }
         }
     } else {
         for l in 0..32 {
@@ -172,8 +339,15 @@ pub fn eval_sfu_row(op: SfuOp, a: &Row, dst: &mut Row, mask: u32) {
 #[inline]
 pub fn eval_ffma_row(a: &Row, b: &Row, c: &Row, dst: &mut Row, mask: u32) {
     if mask == u32::MAX {
-        for l in 0..32 {
-            dst[l] = eval_ffma(a[l], b[l], c[l]);
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2() {
+            unsafe { simd::ffma_row(a, b, c, dst) };
+            return;
+        }
+        for o in [0usize, 8, 16, 24] {
+            for j in 0..8 {
+                dst[o + j] = eval_ffma(a[o + j], b[o + j], c[o + j]);
+            }
         }
     } else {
         for l in 0..32 {
@@ -188,8 +362,15 @@ pub fn eval_ffma_row(a: &Row, b: &Row, c: &Row, dst: &mut Row, mask: u32) {
 #[inline]
 pub fn eval_imad_row(a: &Row, b: &Row, c: &Row, dst: &mut Row, mask: u32) {
     if mask == u32::MAX {
-        for l in 0..32 {
-            dst[l] = eval_imad(a[l], b[l], c[l]);
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2() {
+            unsafe { simd::imad_row(a, b, c, dst) };
+            return;
+        }
+        for o in [0usize, 8, 16, 24] {
+            for j in 0..8 {
+                dst[o + j] = eval_imad(a[o + j], b[o + j], c[o + j]);
+            }
         }
     } else {
         for l in 0..32 {

@@ -49,6 +49,7 @@ pub mod kernel;
 pub mod liveness;
 pub mod passes;
 pub mod regalloc;
+pub mod row;
 
 mod value;
 
@@ -62,4 +63,5 @@ pub use inst::{
 };
 pub use kernel::{InstMix, Kernel};
 pub use passes::OptLevel;
+pub use row::LaneRow;
 pub use value::Value;

@@ -5,7 +5,12 @@
 //! `i32`). [`Value`] mirrors that — it is a bag of 32 bits with typed views.
 
 /// A 32-bit register value with typed bit-cast views.
+///
+/// `repr(transparent)`: a `[Value; N]` has the layout of `[u32; N]`, which
+/// the vectorized row evaluators in [`crate::exec`] rely on to load lanes
+/// directly into SIMD registers.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+#[repr(transparent)]
 pub struct Value(pub u32);
 
 impl Value {

@@ -1,0 +1,421 @@
+//! Property tests for the row value structure: the vectorized row
+//! evaluators (SIMD or chunked-scalar, whichever the host picks) and the
+//! `LaneRow` shape folds must be bit-identical to the frozen per-lane
+//! scalar evaluators — on randomized rows, under partial masks, and on
+//! the f32 values that break naive SIMD equivalence (NaN payloads,
+//! signaling NaNs, denormals, signed zeros, infinities).
+
+use g80_isa::exec::{self, eval_alu, eval_cmp, eval_ffma, eval_imad, eval_sfu, eval_un, Row};
+use g80_isa::inst::{AluOp, CmpOp, Scalar, SfuOp, UnOp};
+use g80_isa::{row, LaneRow, Value};
+
+/// Deterministic xorshift — the tests must not depend on ambient RNG.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+    /// A 32-bit pattern biased heavily toward the f32 values that expose
+    /// SIMD/scalar divergence: NaNs with distinct payloads, signaling
+    /// NaNs, ±0, ±inf, denormals, and values near the i32/u32 conversion
+    /// boundaries — with plain random bits mixed in.
+    fn special(&mut self) -> u32 {
+        const POOL: [u32; 14] = [
+            0x7fc0_0000, // canonical qNaN
+            0xffc0_0001, // negative qNaN, nonzero payload
+            0x7f80_0001, // signaling NaN
+            0x7f80_0000, // +inf
+            0xff80_0000, // -inf
+            0x0000_0000, // +0.0
+            0x8000_0000, // -0.0
+            0x0000_0001, // smallest denormal
+            0x807f_ffff, // largest negative denormal
+            0x0040_0000, // mid denormal
+            0x3f80_0000, // 1.0
+            0x4f00_0000, // 2^31 (f32->i32 overflow boundary)
+            0xcf00_0000, // -2^31
+            0x7fff_ffff, // i32::MAX as bits
+        ];
+        let r = self.next();
+        if r & 3 == 0 {
+            POOL[(r >> 8) as usize % POOL.len()]
+        } else {
+            self.u32()
+        }
+    }
+    fn row(&mut self) -> Row {
+        std::array::from_fn(|_| Value::from_u32(self.special()))
+    }
+    /// Full, empty, or random partial masks, with full over-represented
+    /// (the fast paths only engage there).
+    fn mask(&mut self) -> u32 {
+        match self.next() & 3 {
+            0 => u32::MAX,
+            1 => self.u32(),
+            2 => 1 << (self.next() % 32),
+            _ => u32::MAX,
+        }
+    }
+}
+
+const ALU_OPS: [AluOp; 18] = [
+    AluOp::FAdd,
+    AluOp::FSub,
+    AluOp::FMul,
+    AluOp::FMin,
+    AluOp::FMax,
+    AluOp::IAdd,
+    AluOp::ISub,
+    AluOp::IMul,
+    AluOp::UMin,
+    AluOp::UMax,
+    AluOp::IMin,
+    AluOp::IMax,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::ShrU,
+    AluOp::ShrS,
+];
+const UN_OPS: [UnOp; 9] = [
+    UnOp::Mov,
+    UnOp::FNeg,
+    UnOp::FAbs,
+    UnOp::Not,
+    UnOp::CvtF2I,
+    UnOp::CvtI2F,
+    UnOp::CvtF2U,
+    UnOp::CvtU2F,
+    UnOp::FFloor,
+];
+const SFU_OPS: [SfuOp; 7] = [
+    SfuOp::Rcp,
+    SfuOp::Rsqrt,
+    SfuOp::Sqrt,
+    SfuOp::Sin,
+    SfuOp::Cos,
+    SfuOp::Ex2,
+    SfuOp::Lg2,
+];
+const CMP_OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+const SCALARS: [Scalar; 3] = [Scalar::F32, Scalar::U32, Scalar::I32];
+
+fn is_nan_bits(b: u32) -> bool {
+    b & 0x7f80_0000 == 0x7f80_0000 && b & 0x007f_ffff != 0
+}
+
+/// Result equality for one lane. Integer ops must match bit for bit. For
+/// f32-producing ops, two NaNs of any payload are equal: x86 propagates
+/// the NaN in the instruction's *destination* register, and which operand
+/// the compiler puts there varies with register allocation across
+/// inlining contexts — the payload is not part of the evaluator contract
+/// (the class is; a NaN-vs-number mismatch still fails).
+fn lane_eq(got: u32, want: u32, float_op: bool) -> bool {
+    got == want || (float_op && is_nan_bits(got) && is_nan_bits(want))
+}
+
+/// Asserts `got` equals the per-lane scalar evaluation under `mask`:
+/// active lanes must match the scalar op (see [`lane_eq`]), inactive
+/// lanes must still hold the sentinel the destination row was seeded
+/// with.
+fn assert_masked_row(
+    label: &str,
+    got: &Row,
+    sentinel: &Row,
+    mask: u32,
+    float_op: bool,
+    scalar: impl Fn(usize) -> Value,
+) {
+    for l in 0..32 {
+        let (want, strict) = if mask >> l & 1 == 1 {
+            (scalar(l), !float_op)
+        } else {
+            (sentinel[l], true)
+        };
+        assert!(
+            lane_eq(got[l].0, want.0, !strict),
+            "{label}: lane {l} diverges (mask {mask:#010x}): got {:#010x}, want {:#010x}",
+            got[l].0,
+            want.0
+        );
+    }
+}
+
+fn alu_is_float(op: AluOp) -> bool {
+    matches!(
+        op,
+        AluOp::FAdd | AluOp::FSub | AluOp::FMul | AluOp::FMin | AluOp::FMax
+    )
+}
+
+fn un_is_float(op: UnOp) -> bool {
+    matches!(op, UnOp::FNeg | UnOp::FAbs | UnOp::FFloor)
+}
+
+#[test]
+fn row_evaluators_match_scalar_on_specials_and_partial_masks() {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    for iter in 0..400 {
+        let a = rng.row();
+        let b = rng.row();
+        let c = rng.row();
+        let mask = rng.mask();
+        let sentinel: Row = std::array::from_fn(|l| Value::from_u32(0xdead_0000 | l as u32));
+
+        for op in ALU_OPS {
+            let mut dst = sentinel;
+            exec::eval_alu_row(op, &a, &b, &mut dst, mask);
+            assert_masked_row(
+                &format!("alu {op:?} iter {iter}"),
+                &dst,
+                &sentinel,
+                mask,
+                alu_is_float(op),
+                |l| eval_alu(op, a[l], b[l]),
+            );
+        }
+        for op in UN_OPS {
+            let mut dst = sentinel;
+            exec::eval_un_row(op, &a, &mut dst, mask);
+            assert_masked_row(
+                &format!("un {op:?} iter {iter}"),
+                &dst,
+                &sentinel,
+                mask,
+                un_is_float(op),
+                |l| eval_un(op, a[l]),
+            );
+        }
+        for op in SFU_OPS {
+            let mut dst = sentinel;
+            exec::eval_sfu_row(op, &a, &mut dst, mask);
+            assert_masked_row(
+                &format!("sfu {op:?} iter {iter}"),
+                &dst,
+                &sentinel,
+                mask,
+                true,
+                |l| eval_sfu(op, a[l]),
+            );
+        }
+        for op in CMP_OPS {
+            for ty in SCALARS {
+                let mut dst = sentinel;
+                exec::eval_cmp_row(op, ty, &a, &b, &mut dst, mask);
+                assert_masked_row(
+                    &format!("cmp {op:?} {ty:?} iter {iter}"),
+                    &dst,
+                    &sentinel,
+                    mask,
+                    false,
+                    |l| eval_cmp(op, ty, a[l], b[l]),
+                );
+            }
+        }
+        let mut dst = sentinel;
+        exec::eval_ffma_row(&a, &b, &c, &mut dst, mask);
+        assert_masked_row(
+            &format!("ffma iter {iter}"),
+            &dst,
+            &sentinel,
+            mask,
+            true,
+            |l| eval_ffma(a[l], b[l], c[l]),
+        );
+        let mut dst = sentinel;
+        exec::eval_imad_row(&a, &b, &c, &mut dst, mask);
+        assert_masked_row(
+            &format!("imad iter {iter}"),
+            &dst,
+            &sentinel,
+            mask,
+            false,
+            |l| eval_imad(a[l], b[l], c[l]),
+        );
+        let mut dst = sentinel;
+        exec::eval_sel_row(&c, &a, &b, &mut dst, mask);
+        assert_masked_row(
+            &format!("sel iter {iter}"),
+            &dst,
+            &sentinel,
+            mask,
+            false,
+            |l| if c[l].0 != 0 { a[l] } else { b[l] },
+        );
+    }
+}
+
+/// A random non-`Full` shape, including special-float bit patterns as
+/// uniform values and extreme strides (overflow-prone, power-of-two).
+fn shape(rng: &mut Rng) -> LaneRow {
+    if rng.next() & 1 == 0 {
+        LaneRow::Uniform(Value::from_u32(rng.special()))
+    } else {
+        let stride = match rng.next() & 7 {
+            0 => 4,
+            1 => 1 << 29,
+            2 => 1 << 30,
+            3 => 0x8000_0000,
+            4 => rng.u32() | 0x8000_0000, // huge: wrapping exercised
+            _ => rng.u32() & 0xffff,
+        };
+        LaneRow::affine(rng.special(), stride)
+    }
+}
+
+fn expand(s: LaneRow) -> Row {
+    let mut r = [Value::ZERO; 32];
+    assert!(s.expand_into(&mut r), "non-Full shapes must expand");
+    r
+}
+
+/// Every successful fold must be *exact*: expanding the folded shape has
+/// to reproduce, bit for bit, what the scalar evaluator computes on the
+/// expanded operands. (`None` is always a legal answer; `Some` never gets
+/// to be approximately right.)
+#[test]
+fn shape_folds_are_bit_exact_against_scalar_evaluation() {
+    let mut rng = Rng(0x243f_6a88_85a3_08d3);
+    for _ in 0..2000 {
+        let a = shape(&mut rng);
+        let b = shape(&mut rng);
+        let c = shape(&mut rng);
+        let (ar, br, cr) = (expand(a), expand(b), expand(c));
+
+        for op in ALU_OPS {
+            if let Some(f) = row::fold_alu(op, a, b) {
+                let got = expand(f);
+                for l in 0..32 {
+                    let want = eval_alu(op, ar[l], br[l]);
+                    assert!(
+                        lane_eq(got[l].0, want.0, alu_is_float(op)),
+                        "fold_alu {op:?} lane {l}: {a:?} {b:?}: got {:#010x}, want {:#010x}",
+                        got[l].0,
+                        want.0
+                    );
+                }
+            }
+        }
+        for op in UN_OPS {
+            if let Some(f) = row::fold_un(op, a) {
+                let got = expand(f);
+                for l in 0..32 {
+                    let want = eval_un(op, ar[l]);
+                    assert!(
+                        lane_eq(got[l].0, want.0, un_is_float(op)),
+                        "fold_un {op:?} lane {l}: {a:?}: got {:#010x}, want {:#010x}",
+                        got[l].0,
+                        want.0
+                    );
+                }
+            }
+        }
+        for op in SFU_OPS {
+            if let Some(f) = row::fold_sfu(op, a) {
+                let got = expand(f);
+                for l in 0..32 {
+                    let want = eval_sfu(op, ar[l]);
+                    assert!(
+                        lane_eq(got[l].0, want.0, true),
+                        "fold_sfu {op:?} lane {l}: {a:?}: got {:#010x}, want {:#010x}",
+                        got[l].0,
+                        want.0
+                    );
+                }
+            }
+        }
+        for op in CMP_OPS {
+            for ty in SCALARS {
+                if let Some(f) = row::fold_cmp(op, ty, a, b) {
+                    let got = expand(f);
+                    for l in 0..32 {
+                        assert_eq!(
+                            got[l].0,
+                            eval_cmp(op, ty, ar[l], br[l]).0,
+                            "fold_cmp {op:?} {ty:?} lane {l}: {a:?} {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(f) = row::fold_imad(a, b, c) {
+            let got = expand(f);
+            for l in 0..32 {
+                assert_eq!(
+                    got[l].0,
+                    eval_imad(ar[l], br[l], cr[l]).0,
+                    "fold_imad lane {l}: {a:?} {b:?} {c:?}"
+                );
+            }
+        }
+        if let Some(f) = row::fold_ffma(a, b, c) {
+            let got = expand(f);
+            for l in 0..32 {
+                let want = eval_ffma(ar[l], br[l], cr[l]);
+                assert!(
+                    lane_eq(got[l].0, want.0, true),
+                    "fold_ffma lane {l}: {a:?} {b:?} {c:?}: got {:#010x}, want {:#010x}",
+                    got[l].0,
+                    want.0
+                );
+            }
+        }
+        if let Some(f) = row::fold_sel(c, a, b) {
+            let got = expand(f);
+            for l in 0..32 {
+                let want = if cr[l].0 != 0 { ar[l] } else { br[l] };
+                assert_eq!(got[l].0, want.0, "fold_sel lane {l}: {c:?} {a:?} {b:?}");
+            }
+        }
+    }
+}
+
+/// `classify` must round-trip: a row built from any shape classifies back
+/// to a shape that expands to the same 32 lanes, and classifying a
+/// perturbed row never produces a shape (no false positives).
+#[test]
+fn classify_round_trips_and_rejects_perturbations() {
+    let mut rng = Rng(0x1319_8a2e_0370_7344);
+    for _ in 0..2000 {
+        let s = shape(&mut rng);
+        let r = expand(s);
+        let c = LaneRow::classify(&r);
+        assert_ne!(c, LaneRow::Full, "structured row must classify: {s:?}");
+        let back = expand(c);
+        for l in 0..32 {
+            assert_eq!(back[l].0, r[l].0, "classify lane {l}: {s:?} -> {c:?}");
+        }
+
+        let mut broken = r;
+        let lane = (rng.next() % 32) as usize;
+        broken[lane].0 ^= 1 << (rng.next() % 32);
+        let reclass = LaneRow::classify(&broken);
+        let reexp = {
+            let mut out = [Value::ZERO; 32];
+            if reclass == LaneRow::Full {
+                continue; // honestly refused — fine
+            }
+            assert!(reclass.expand_into(&mut out));
+            out
+        };
+        // If it still classifies (the flip landed on a consistent value),
+        // the expansion must still be exact.
+        for l in 0..32 {
+            assert_eq!(reexp[l].0, broken[l].0, "perturbed classify lane {l}");
+        }
+    }
+}

@@ -19,7 +19,7 @@
 use g80_isa::builder::KernelBuilder;
 use g80_isa::{Kernel, Value};
 use g80_serve::{Addr, Client, WireLaunch};
-use g80_sim::LaunchDims;
+use g80_sim::{LaunchDims, RowCounters};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -112,41 +112,57 @@ fn main() -> ExitCode {
         .map(|t| {
             let addr = args.addr.clone();
             let requests = args.requests;
-            std::thread::spawn(move || -> std::io::Result<(Vec<Duration>, u64)> {
-                let mut client =
-                    Client::connect_retry(&addr, &format!("bench-{t}"), Duration::from_secs(10))?;
-                let spec = probe_spec(t);
-                let mut latencies = Vec::with_capacity(requests);
-                let mut cache_hits = 0u64;
-                for _ in 0..requests {
-                    let t0 = Instant::now();
-                    let result = client.launch(&spec)?;
-                    latencies.push(t0.elapsed());
-                    match result {
-                        Ok((report, _)) => {
-                            if report.served.from_cache() {
-                                cache_hits += 1;
+            std::thread::spawn(
+                move || -> std::io::Result<(Vec<Duration>, u64, RowCounters)> {
+                    let mut client = Client::connect_retry(
+                        &addr,
+                        &format!("bench-{t}"),
+                        Duration::from_secs(10),
+                    )?;
+                    let spec = probe_spec(t);
+                    let mut latencies = Vec::with_capacity(requests);
+                    let mut cache_hits = 0u64;
+                    let mut rows = RowCounters::default();
+                    for _ in 0..requests {
+                        let t0 = Instant::now();
+                        let result = client.launch(&spec)?;
+                        latencies.push(t0.elapsed());
+                        match result {
+                            Ok((report, _)) => {
+                                if report.served.from_cache() {
+                                    cache_hits += 1;
+                                }
+                                // Reports snapshot the daemon's process-wide
+                                // totals; the field-wise max is the latest
+                                // state this tenant observed.
+                                rows.uniform = rows.uniform.max(report.rows.uniform);
+                                rows.affine = rows.affine.max(report.rows.affine);
+                                rows.full = rows.full.max(report.rows.full);
+                            }
+                            Err(e) => {
+                                return Err(std::io::Error::other(format!(
+                                    "typed error from daemon: {e}"
+                                )))
                             }
                         }
-                        Err(e) => {
-                            return Err(std::io::Error::other(format!(
-                                "typed error from daemon: {e}"
-                            )))
-                        }
                     }
-                }
-                Ok((latencies, cache_hits))
-            })
+                    Ok((latencies, cache_hits, rows))
+                },
+            )
         })
         .collect();
 
     let mut latencies = Vec::new();
     let mut cache_hits = 0u64;
+    let mut rows = RowCounters::default();
     for w in workers {
         match w.join() {
-            Ok(Ok((l, h))) => {
+            Ok(Ok((l, h, r))) => {
                 latencies.extend(l);
                 cache_hits += h;
+                rows.uniform = rows.uniform.max(r.uniform);
+                rows.affine = rows.affine.max(r.affine);
+                rows.full = rows.full.max(r.full);
             }
             Ok(Err(e)) => {
                 eprintln!("g80-bench-serve: tenant failed: {e}");
@@ -178,6 +194,10 @@ fn main() -> ExitCode {
         latencies[total - 1].as_secs_f64() * 1e3
     );
     println!("g80-bench-serve: {cache_hits}/{total} responses served from a cache tier");
+    println!(
+        "g80-bench-serve: daemon row shapes: {} uniform, {} affine, {} full",
+        rows.uniform, rows.affine, rows.full
+    );
 
     let mut failed = false;
     if let Some(ceiling) = args.p99_ms {

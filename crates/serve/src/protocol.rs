@@ -29,7 +29,9 @@ use std::io::{self, Read, Write};
 
 /// Bumped on any incompatible change to the framing, the message tags, or
 /// any embedded encoding (including [`g80_sim::wire::encode_stats`]).
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version 2 tracks the [`g80_sim::LaunchReport`] layout change that added
+/// the row-shape counters.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on one frame's payload. A header above this is treated as a
 /// framing desync and the connection is dropped.

@@ -16,14 +16,22 @@
 //! destination row — the same discipline as `Warp::operand_row` — so
 //! destination/source aliasing behaves identically to the interpreted
 //! engine.
+//!
+//! Row shapes thread straight through the pre-lowered form: each op first
+//! tries the same [`g80_isa::row`] fold the interpreted engine uses (under
+//! a full mask, with `rows_enabled`), writing one `LaneRow` tag instead of
+//! 32 lanes; shared accesses with affine address rows take the closed-form
+//! bank-conflict degree.
 
 use g80_isa::compile::{CompiledOp, Region, Src};
 use g80_isa::exec::{self, Row};
 use g80_isa::inst::SpecialReg;
-use g80_isa::Value;
+use g80_isa::row;
+use g80_isa::{LaneRow, Value};
 
 use crate::config::GpuConfig;
-use crate::memory::smem_conflict_degree_noalloc;
+use crate::counters::RowCounters;
+use crate::memory::{smem_conflict_degree_noalloc, smem_degree_affine};
 use crate::sm::split_half_warps;
 use crate::warp::Warp;
 
@@ -32,6 +40,7 @@ use crate::warp::Warp;
 struct Sp<'a> {
     params: &'a [Value],
     tids: &'a [(u32, u32, u32)],
+    tid_shape: [LaneRow; 3],
     ctaid: (u32, u32),
     ntid: (u32, u32, u32),
     nctaid: (u32, u32),
@@ -40,12 +49,21 @@ struct Sp<'a> {
 /// Materializes a pre-lowered source as a full 32-lane row. Mirrors
 /// `Warp::operand_row`: copying the row out resolves the source kind once
 /// per op and decouples sources from a destination row that may alias them.
+/// Register sources read through their shape (the backing row of a
+/// `Uniform`/`Affine` register is stale).
 #[inline(always)]
-fn src_row(regs: &[Value], sp: &Sp, s: Src) -> Row {
+fn src_row(regs: &[Value], shapes: &[LaneRow], sp: &Sp, s: Src) -> Row {
     match s {
         Src::Reg(base) => {
             let base = base as usize;
-            *<&Row>::try_from(&regs[base..base + 32]).unwrap()
+            match shapes[base / 32] {
+                LaneRow::Full => *<&Row>::try_from(&regs[base..base + 32]).unwrap(),
+                shape => {
+                    let mut row = [Value::ZERO; 32];
+                    shape.expand_into(&mut row);
+                    row
+                }
+            }
         }
         Src::Imm(v) => [v; 32],
         Src::Param(i) => [sp.params[i as usize]; 32],
@@ -67,11 +85,40 @@ fn src_row(regs: &[Value], sp: &Sp, s: Src) -> Row {
     }
 }
 
-/// A destination register's row, in place.
+/// The shape of a pre-lowered source row (mirrors `Warp::operand_shape`).
 #[inline(always)]
-fn dst_row(regs: &mut [Value], base: u32) -> &mut Row {
+fn src_shape(shapes: &[LaneRow], sp: &Sp, s: Src) -> LaneRow {
+    match s {
+        Src::Reg(base) => shapes[(base as usize) / 32],
+        Src::Imm(v) => LaneRow::Uniform(v),
+        Src::Param(i) => LaneRow::Uniform(sp.params[i as usize]),
+        Src::Special(r) => match r {
+            SpecialReg::TidX => sp.tid_shape[0],
+            SpecialReg::TidY => sp.tid_shape[1],
+            SpecialReg::TidZ => sp.tid_shape[2],
+            SpecialReg::NtidX => LaneRow::Uniform(Value::from_u32(sp.ntid.0)),
+            SpecialReg::NtidY => LaneRow::Uniform(Value::from_u32(sp.ntid.1)),
+            SpecialReg::NtidZ => LaneRow::Uniform(Value::from_u32(sp.ntid.2)),
+            SpecialReg::CtaidX => LaneRow::Uniform(Value::from_u32(sp.ctaid.0)),
+            SpecialReg::CtaidY => LaneRow::Uniform(Value::from_u32(sp.ctaid.1)),
+            SpecialReg::NctaidX => LaneRow::Uniform(Value::from_u32(sp.nctaid.0)),
+            SpecialReg::NctaidY => LaneRow::Uniform(Value::from_u32(sp.nctaid.1)),
+        },
+    }
+}
+
+/// A destination register's row, in place, materializing its shape first
+/// (a subsequent masked write must preserve the shape-implied lanes).
+#[inline(always)]
+fn dst_row<'r>(regs: &'r mut [Value], shapes: &mut [LaneRow], base: u32) -> &'r mut Row {
     let base = base as usize;
-    (&mut regs[base..base + 32]).try_into().unwrap()
+    let row: &mut Row = (&mut regs[base..base + 32]).try_into().unwrap();
+    let shape = &mut shapes[base / 32];
+    if *shape != LaneRow::Full {
+        (*shape).expand_into(row);
+        *shape = LaneRow::Full;
+    }
+    row
 }
 
 /// Warp-level shared-memory bank-conflict degree, with fast paths for the
@@ -103,8 +150,8 @@ fn warp_degree(cfg: &GpuConfig, addrs: &[u32; 32], mask: u32) -> u32 {
 /// Runs a region's functional effects over `warp` and refills
 /// `warp.region_aux` with one timing-aux word per instruction. Scoreboard,
 /// statistics, and pc advancement are the per-instruction timing steps'
-/// job — this function only touches registers, shared memory, and the aux
-/// buffer.
+/// job — this function only touches registers, shared memory, the aux
+/// buffer, and the row-shape tally.
 pub(crate) fn run_region(
     region: &Region,
     warp: &mut Warp,
@@ -112,11 +159,15 @@ pub(crate) fn run_region(
     params: &[Value],
     kernel_name: &str,
     cfg: &GpuConfig,
+    rows: &mut RowCounters,
 ) {
     let mask = warp.active_mask();
+    let fold = warp.rows_enabled && mask == u32::MAX;
     let Warp {
         regs,
+        shapes,
         tids,
+        tid_shape,
         ctaid,
         ntid,
         nctaid,
@@ -126,6 +177,7 @@ pub(crate) fn run_region(
     let sp = Sp {
         params,
         tids,
+        tid_shape: *tid_shape,
         ctaid: *ctaid,
         ntid: *ntid,
         nctaid: *nctaid,
@@ -135,49 +187,152 @@ pub(crate) fn run_region(
         let mut aux = 0u32;
         match *op {
             CompiledOp::Alu { op, dst, a, b } => {
-                let ar = src_row(regs, &sp, a);
-                let br = src_row(regs, &sp, b);
-                exec::eval_alu_row(op, &ar, &br, dst_row(regs, dst), mask);
+                if fold {
+                    if let Some(shape) =
+                        row::fold_alu(op, src_shape(shapes, &sp, a), src_shape(shapes, &sp, b))
+                    {
+                        shapes[(dst as usize) / 32] = shape;
+                        rows.tally(&shape);
+                        region_aux.push(aux);
+                        continue;
+                    }
+                }
+                rows.full += 1;
+                let ar = src_row(regs, shapes, &sp, a);
+                let br = src_row(regs, shapes, &sp, b);
+                exec::eval_alu_row(op, &ar, &br, dst_row(regs, shapes, dst), mask);
             }
             CompiledOp::Ffma { dst, a, b, c } => {
-                let ar = src_row(regs, &sp, a);
-                let br = src_row(regs, &sp, b);
-                let cr = src_row(regs, &sp, c);
-                exec::eval_ffma_row(&ar, &br, &cr, dst_row(regs, dst), mask);
+                if fold {
+                    if let Some(shape) = row::fold_ffma(
+                        src_shape(shapes, &sp, a),
+                        src_shape(shapes, &sp, b),
+                        src_shape(shapes, &sp, c),
+                    ) {
+                        shapes[(dst as usize) / 32] = shape;
+                        rows.tally(&shape);
+                        region_aux.push(aux);
+                        continue;
+                    }
+                }
+                rows.full += 1;
+                let ar = src_row(regs, shapes, &sp, a);
+                let br = src_row(regs, shapes, &sp, b);
+                let cr = src_row(regs, shapes, &sp, c);
+                exec::eval_ffma_row(&ar, &br, &cr, dst_row(regs, shapes, dst), mask);
             }
             CompiledOp::Imad { dst, a, b, c } => {
-                let ar = src_row(regs, &sp, a);
-                let br = src_row(regs, &sp, b);
-                let cr = src_row(regs, &sp, c);
-                exec::eval_imad_row(&ar, &br, &cr, dst_row(regs, dst), mask);
+                if fold {
+                    if let Some(shape) = row::fold_imad(
+                        src_shape(shapes, &sp, a),
+                        src_shape(shapes, &sp, b),
+                        src_shape(shapes, &sp, c),
+                    ) {
+                        shapes[(dst as usize) / 32] = shape;
+                        rows.tally(&shape);
+                        region_aux.push(aux);
+                        continue;
+                    }
+                }
+                rows.full += 1;
+                let ar = src_row(regs, shapes, &sp, a);
+                let br = src_row(regs, shapes, &sp, b);
+                let cr = src_row(regs, shapes, &sp, c);
+                exec::eval_imad_row(&ar, &br, &cr, dst_row(regs, shapes, dst), mask);
             }
             CompiledOp::Un { op, dst, a } => {
-                let ar = src_row(regs, &sp, a);
-                exec::eval_un_row(op, &ar, dst_row(regs, dst), mask);
+                if fold {
+                    if let Some(shape) = row::fold_un(op, src_shape(shapes, &sp, a)) {
+                        shapes[(dst as usize) / 32] = shape;
+                        rows.tally(&shape);
+                        region_aux.push(aux);
+                        continue;
+                    }
+                }
+                rows.full += 1;
+                let ar = src_row(regs, shapes, &sp, a);
+                exec::eval_un_row(op, &ar, dst_row(regs, shapes, dst), mask);
             }
             CompiledOp::Sfu { op, dst, a } => {
-                let ar = src_row(regs, &sp, a);
-                exec::eval_sfu_row(op, &ar, dst_row(regs, dst), mask);
+                if fold {
+                    if let Some(shape) = row::fold_sfu(op, src_shape(shapes, &sp, a)) {
+                        shapes[(dst as usize) / 32] = shape;
+                        rows.tally(&shape);
+                        region_aux.push(aux);
+                        continue;
+                    }
+                }
+                rows.full += 1;
+                let ar = src_row(regs, shapes, &sp, a);
+                exec::eval_sfu_row(op, &ar, dst_row(regs, shapes, dst), mask);
             }
             CompiledOp::SetP { op, ty, dst, a, b } => {
-                let ar = src_row(regs, &sp, a);
-                let br = src_row(regs, &sp, b);
-                exec::eval_cmp_row(op, ty, &ar, &br, dst_row(regs, dst), mask);
+                if fold {
+                    if let Some(shape) =
+                        row::fold_cmp(op, ty, src_shape(shapes, &sp, a), src_shape(shapes, &sp, b))
+                    {
+                        shapes[(dst as usize) / 32] = shape;
+                        rows.tally(&shape);
+                        region_aux.push(aux);
+                        continue;
+                    }
+                }
+                rows.full += 1;
+                let ar = src_row(regs, shapes, &sp, a);
+                let br = src_row(regs, shapes, &sp, b);
+                exec::eval_cmp_row(op, ty, &ar, &br, dst_row(regs, shapes, dst), mask);
             }
             CompiledOp::Sel { dst, c, a, b } => {
-                let cr = src_row(regs, &sp, c);
-                let ar = src_row(regs, &sp, a);
-                let br = src_row(regs, &sp, b);
-                exec::eval_sel_row(&cr, &ar, &br, dst_row(regs, dst), mask);
+                if fold {
+                    if let Some(shape) = row::fold_sel(
+                        src_shape(shapes, &sp, c),
+                        src_shape(shapes, &sp, a),
+                        src_shape(shapes, &sp, b),
+                    ) {
+                        shapes[(dst as usize) / 32] = shape;
+                        rows.tally(&shape);
+                        region_aux.push(aux);
+                        continue;
+                    }
+                }
+                rows.full += 1;
+                let cr = src_row(regs, shapes, &sp, c);
+                let ar = src_row(regs, shapes, &sp, a);
+                let br = src_row(regs, shapes, &sp, b);
+                exec::eval_sel_row(&cr, &ar, &br, dst_row(regs, shapes, dst), mask);
             }
             CompiledOp::LdShared { dst, addr, off } => {
-                let ar = src_row(regs, &sp, addr);
+                if fold {
+                    if let Some((base, stride)) = shifted(src_shape(shapes, &sp, addr), off) {
+                        if let Some(d) = smem_degree_affine(cfg, stride) {
+                            rows.tally(&LaneRow::affine(base, stride));
+                            let dr = dst_row(regs, shapes, dst);
+                            let mut a = base;
+                            for slot in dr.iter_mut() {
+                                let idx = (a / 4) as usize;
+                                assert!(
+                                    idx < smem.len(),
+                                    "kernel {}: shared load out of bounds ({} >= {})",
+                                    kernel_name,
+                                    idx,
+                                    smem.len()
+                                );
+                                *slot = smem[idx];
+                                a = a.wrapping_add(stride);
+                            }
+                            region_aux.push(d);
+                            continue;
+                        }
+                    }
+                }
+                rows.full += 1;
+                let ar = src_row(regs, shapes, &sp, addr);
                 let mut addrs = [0u32; 32];
                 for (l, a) in addrs.iter_mut().enumerate() {
                     *a = ar[l].as_u32().wrapping_add(off as u32);
                 }
                 aux = warp_degree(cfg, &addrs, mask);
-                let dr = dst_row(regs, dst);
+                let dr = dst_row(regs, shapes, dst);
                 for (l, &a) in addrs.iter().enumerate() {
                     if mask >> l & 1 == 1 {
                         let idx = (a / 4) as usize;
@@ -193,8 +348,32 @@ pub(crate) fn run_region(
                 }
             }
             CompiledOp::StShared { addr, off, src } => {
-                let ar = src_row(regs, &sp, addr);
-                let srcs = src_row(regs, &sp, src);
+                if fold {
+                    if let Some((base, stride)) = shifted(src_shape(shapes, &sp, addr), off) {
+                        if let Some(d) = smem_degree_affine(cfg, stride) {
+                            rows.tally(&LaneRow::affine(base, stride));
+                            let srcs = src_row(regs, shapes, &sp, src);
+                            let mut a = base;
+                            for &v in srcs.iter() {
+                                let idx = (a / 4) as usize;
+                                assert!(
+                                    idx < smem.len(),
+                                    "kernel {}: shared store out of bounds ({} >= {})",
+                                    kernel_name,
+                                    idx,
+                                    smem.len()
+                                );
+                                smem[idx] = v;
+                                a = a.wrapping_add(stride);
+                            }
+                            region_aux.push(d);
+                            continue;
+                        }
+                    }
+                }
+                rows.full += 1;
+                let ar = src_row(regs, shapes, &sp, addr);
+                let srcs = src_row(regs, shapes, &sp, src);
                 let mut addrs = [0u32; 32];
                 for (l, a) in addrs.iter_mut().enumerate() {
                     *a = ar[l].as_u32().wrapping_add(off as u32);
@@ -217,4 +396,11 @@ pub(crate) fn run_region(
         }
         region_aux.push(aux);
     }
+}
+
+/// `(base + off, stride)` of an address row shape, or `None` for `Full`.
+#[inline(always)]
+fn shifted(shape: LaneRow, off: i32) -> Option<(u32, u32)> {
+    let (base, stride) = shape.base_stride()?;
+    Some((base.wrapping_add(off as u32), stride))
 }

@@ -358,6 +358,90 @@ impl KernelStats {
     }
 }
 
+/// Process-wide row-shape counters: how many warp-instruction executions
+/// resolved through each [`g80_isa::LaneRow`] shape (`uniform`/`affine` =
+/// folded in O(1) or served by a closed-form memory-degree formula; `full` =
+/// evaluated eagerly across all lanes).
+///
+/// Deliberately *not* part of [`KernelStats`]: golden stats must stay
+/// bit-identical with row tracking on and off (and across engines — the
+/// reference engine never folds), so host-side attribution lives in this
+/// separate, monotonically increasing process-wide snapshot. Diff
+/// [`row_counters`] around a launch to attribute a single run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RowCounters {
+    /// Executions resolved through a `Uniform` row shape.
+    pub uniform: u64,
+    /// Executions resolved through an `Affine` row shape.
+    pub affine: u64,
+    /// Executions that fell back to eager full-row evaluation.
+    pub full: u64,
+}
+
+static ROWS_UNIFORM: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static ROWS_AFFINE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static ROWS_FULL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Snapshot of the process-wide row-shape counters.
+pub fn row_counters() -> RowCounters {
+    use std::sync::atomic::Ordering::Relaxed;
+    RowCounters {
+        uniform: ROWS_UNIFORM.load(Relaxed),
+        affine: ROWS_AFFINE.load(Relaxed),
+        full: ROWS_FULL.load(Relaxed),
+    }
+}
+
+/// Resets the process-wide row-shape counters to zero (tests/benchmarks).
+pub fn reset_row_counters() {
+    use std::sync::atomic::Ordering::Relaxed;
+    ROWS_UNIFORM.store(0, Relaxed);
+    ROWS_AFFINE.store(0, Relaxed);
+    ROWS_FULL.store(0, Relaxed);
+}
+
+/// Flushes one SM run's locally tallied row counts (called once per
+/// `run_sm`, not per instruction, to keep atomics off the hot path).
+pub(crate) fn add_row_counts(tally: RowCounters) {
+    use std::sync::atomic::Ordering::Relaxed;
+    if tally.uniform != 0 {
+        ROWS_UNIFORM.fetch_add(tally.uniform, Relaxed);
+    }
+    if tally.affine != 0 {
+        ROWS_AFFINE.fetch_add(tally.affine, Relaxed);
+    }
+    if tally.full != 0 {
+        ROWS_FULL.fetch_add(tally.full, Relaxed);
+    }
+}
+
+impl RowCounters {
+    /// Tallies one execution of the given shape.
+    #[inline]
+    pub(crate) fn tally(&mut self, shape: &g80_isa::LaneRow) {
+        match shape {
+            g80_isa::LaneRow::Uniform(_) => self.uniform += 1,
+            g80_isa::LaneRow::Affine { .. } => self.affine += 1,
+            g80_isa::LaneRow::Full => self.full += 1,
+        }
+    }
+
+    /// Component-wise difference (`self - earlier`), for attributing a
+    /// single launch from two process-wide snapshots.
+    pub fn since(&self, earlier: &RowCounters) -> RowCounters {
+        RowCounters {
+            uniform: self.uniform - earlier.uniform,
+            affine: self.affine - earlier.affine,
+            full: self.full - earlier.full,
+        }
+    }
+
+    /// Total executions attributed across all shapes.
+    pub fn total(&self) -> u64 {
+        self.uniform + self.affine + self.full
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,6 +83,50 @@ pub fn engine() -> Engine {
     }
 }
 
+/// Whether the warp register file tracks uniform/affine row shapes
+/// (see [`g80_isa::LaneRow`] and `DESIGN.md` §15). Both modes produce
+/// bit-identical [`KernelStats`]; they differ only in host-side speed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Rows {
+    /// Tagged rows (default): warp-invariant and lane-affine register rows
+    /// are carried symbolically, ALU results fold in O(1) per warp, and
+    /// affine address rows take closed-form coalescing / bank-conflict
+    /// degrees instead of per-lane scans.
+    Tracked,
+    /// The frozen eager baseline: every register row is materialized and
+    /// every instruction evaluates all lanes. Kill-switch for A/B
+    /// equivalence runs (`G80_SIM_ROWS=full`).
+    Full,
+}
+
+// 0 = unresolved (read G80_SIM_ROWS on first use), else Rows + 1.
+static ROWS: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the row-tracking mode for subsequently constructed warps
+/// (process-wide). Overrides the `G80_SIM_ROWS` environment variable.
+/// Intended for A/B equivalence tests and benchmarks.
+pub fn set_rows(r: Rows) {
+    ROWS.store(r as u8 + 1, Ordering::SeqCst);
+}
+
+/// The row-tracking mode currently selected
+/// (`G80_SIM_ROWS=full` overrides the default).
+pub fn rows() -> Rows {
+    match ROWS.load(Ordering::SeqCst) {
+        0 => {
+            let r = match std::env::var("G80_SIM_ROWS").as_deref() {
+                Ok("full") => Rows::Full,
+                _ => Rows::Tracked,
+            };
+            // Racing first reads resolve to the same value.
+            ROWS.store(r as u8 + 1, Ordering::SeqCst);
+            r
+        }
+        2 => Rows::Full,
+        _ => Rows::Tracked,
+    }
+}
+
 /// How the host executes the per-SM simulation tasks of a launch. Both
 /// strategies produce bit-identical [`KernelStats`]; they differ only in
 /// host-side wall-clock.

@@ -73,13 +73,13 @@ pub mod wire;
 mod witness;
 
 pub use config::GpuConfig;
-pub use counters::{KernelStats, StallReason};
+pub use counters::{reset_row_counters, row_counters, KernelStats, RowCounters, StallReason};
 pub use disk::{disk_cache_dir, set_disk_cache, set_disk_cache_cap};
 pub use error::{CudaError, SimError};
 pub use fault::{set_faults, set_watchdog_cycles, watchdog_cycles, FaultConfig, FaultKind, Site};
 pub use launch::{
-    engine, executor, launch, launch_batch, launch_batch_traced, launch_traced, set_engine,
-    set_executor, Engine, Executor, LaunchError, LaunchSpec,
+    engine, executor, launch, launch_batch, launch_batch_traced, launch_traced, rows, set_engine,
+    set_executor, set_rows, Engine, Executor, LaunchError, LaunchSpec, Rows,
 };
 pub use memo::{
     clear_memo_cache, dedup, kernel_info, memo, memo_counters, reset_memo_counters, set_dedup,

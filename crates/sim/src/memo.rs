@@ -308,11 +308,13 @@ pub struct KernelInfo {
 }
 
 /// Smallest longest-region length at which the compiled engine's region
-/// entry overhead is repaid by erased dispatch. Measured on the bench
-/// workloads: saxpy's longest region is 4 micro-ops (its global accesses
-/// are region-ineligible) and regressed ~14% under lowering, while the
-/// tiled matmul's ~48-op unrolled regions gain 3-4x.
-const COMPILED_MIN_REGION_LEN: usize = 8;
+/// entry overhead is repaid by erased dispatch. Before lane-row shape
+/// tracking, saxpy's 4-op regions regressed ~14% under lowering and the
+/// gate sat at 8; with uniform/affine folds the lowered ops collapse to
+/// O(1) shape algebra, region entry is cheap enough that a 4-op region
+/// already wins, and the bench's saxpy compiled row now beats predecoded.
+/// The tiled matmul's ~48-op unrolled regions gain 3-4x either way.
+const COMPILED_MIN_REGION_LEN: usize = 4;
 
 struct Registry {
     map: HashMap<(u64, u64), (Arc<KernelInfo>, u64)>,

@@ -298,6 +298,73 @@ pub fn smem_conflict_degree_noalloc(cfg: &GpuConfig, addrs: &[Option<u32>; 16]) 
     counts[..nbanks].iter().copied().max().unwrap_or(0).max(1)
 }
 
+/// Closed-form CC 1.0 coalescing for a *full* half-warp whose addresses are
+/// affine in the lane index: lane `k` accesses `base + stride·k` (mod 2^32)
+/// for `k = 0..16`. Returns `None` when no closed form applies (the caller
+/// falls back to the per-lane scan); `Some(acc)` is bit-identical to
+/// [`coalesce_half_warp_noalloc`] on the expanded addresses.
+///
+/// Derivation (DESIGN.md §15): the coalesced pattern requires
+/// `addr_k = seg + 4k` with `seg` aligned, and matching lane 1 already
+/// forces `stride == 4` — so the access coalesces iff `stride == 4` and
+/// `base % coalesced_txn_bytes == 0`. A zero stride is a broadcast: one
+/// distinct address (16 when duplicates are not combined). Any other stride
+/// yields 16 pairwise-distinct addresses provided `stride·d ≠ 0 (mod 2^32)`
+/// for all `1 ≤ d ≤ 15`, i.e. the stride's 2-adic valuation is below 29;
+/// the rare `2^29`-divisible strides fall back to the scan.
+pub fn coalesce_affine_half(cfg: &GpuConfig, base: u32, stride: u32) -> Option<HalfWarpAccess> {
+    if stride == 4 && base.is_multiple_of(cfg.coalesced_txn_bytes) {
+        return Some(HalfWarpAccess {
+            coalesced: true,
+            transactions: 1,
+            bytes: cfg.coalesced_txn_bytes as u64,
+        });
+    }
+    let distinct = if stride == 0 {
+        if cfg.combine_duplicates {
+            1
+        } else {
+            16
+        }
+    } else if stride.trailing_zeros() >= 29 {
+        return None; // lanes may collide mod 2^32
+    } else {
+        16
+    };
+    Some(HalfWarpAccess {
+        coalesced: false,
+        transactions: distinct,
+        bytes: distinct as u64 * cfg.uncoalesced_txn_bytes as u64,
+    })
+}
+
+/// Closed-form shared-memory bank-conflict degree for a *full* half-warp
+/// with affine addresses (lane `k` at `base + stride·k`, mod 2^32). `None`
+/// means no closed form applies (the caller falls back to the scan);
+/// `Some(d)` is bit-identical to [`smem_conflict_degree_noalloc`] on the
+/// expanded addresses, for *any* base — so one evaluation covers both
+/// halves of a warp.
+///
+/// With 16 banks and a word-multiple stride `4w`, lane `k` hits bank
+/// `(base/4 + w·k) mod 16`; the addresses are pairwise distinct (same
+/// 2-adic-valuation guard as [`coalesce_affine_half`]), so the per-bank
+/// distinct count — hence the degree — is `gcd(w mod 16, 16)`, with
+/// `w ≡ 0 (mod 16)` putting all 16 lanes in one bank. A zero stride
+/// broadcasts (degree 1). Non-word strides fall back.
+pub fn smem_degree_affine(cfg: &GpuConfig, stride: u32) -> Option<u32> {
+    if cfg.smem_banks != 16 {
+        return None;
+    }
+    if stride == 0 {
+        return Some(1);
+    }
+    if !stride.is_multiple_of(4) || stride.trailing_zeros() >= 29 {
+        return None;
+    }
+    let w = (stride / 4) % 16;
+    Some(if w == 0 { 16 } else { g80_isa::row::gcd(w, 16) })
+}
+
 /// A direct-mapped per-SM cache model (tags only — data comes from the
 /// backing store functionally). Used for both the constant and texture
 /// caches.
@@ -350,6 +417,103 @@ mod tests {
             a[i] = Some(x);
         }
         a
+    }
+
+    fn affine_half(base: u32, stride: u32) -> [Option<u32>; 16] {
+        let mut a = [None; 16];
+        for k in 0..16u32 {
+            a[k as usize] = Some(base.wrapping_add(stride.wrapping_mul(k)));
+        }
+        a
+    }
+
+    #[test]
+    fn affine_closed_forms_match_scans() {
+        // Deterministic LCG sweep over (base, stride), plus targeted edges.
+        // Bases stay below 2^31 so the scan's non-wrapping coalesced check
+        // cannot overflow in debug builds (the closed form is specified
+        // against the release-mode wrapping scan).
+        let mut configs = vec![cfg()];
+        let mut alt = cfg();
+        alt.combine_duplicates = !alt.combine_duplicates;
+        configs.push(alt);
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut cases: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let base = ((state >> 33) as u32) & 0x7fff_ffff;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Mix small strides (the interesting regime) with arbitrary ones.
+            let stride = if state & 1 == 0 {
+                ((state >> 40) as u32) & 0xff
+            } else {
+                (state >> 32) as u32 & 0x7fff_ffff
+            };
+            cases.push((base, stride));
+        }
+        for s in [
+            0,
+            4,
+            8,
+            12,
+            16,
+            64,
+            1,
+            2,
+            3,
+            60,
+            68,
+            1 << 29,
+            1 << 30,
+            3 << 28,
+        ] {
+            for b in [0, 4, 64, 60, 0x1000, 0x1004, 0x7fff_0000] {
+                cases.push((b, s));
+            }
+        }
+        for c in &configs {
+            for &(base, stride) in &cases {
+                let half = affine_half(base, stride);
+                if let Some(got) = coalesce_affine_half(c, base, stride) {
+                    let want = coalesce_half_warp_noalloc(c, &half);
+                    assert_eq!(got, want, "global base={base:#x} stride={stride}");
+                    assert_eq!(got, coalesce_half_warp(c, &half));
+                }
+                if let Some(got) = smem_degree_affine(c, stride) {
+                    let want = smem_conflict_degree_noalloc(c, &half);
+                    assert_eq!(got, want, "smem base={base:#x} stride={stride}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_closed_form_known_answers() {
+        let c = cfg();
+        // Unit word stride, aligned: the coalesced fast case.
+        let r = coalesce_affine_half(&c, 0x1000, 4).unwrap();
+        assert!(r.coalesced);
+        assert_eq!(r.transactions, 1);
+        // Unit word stride, misaligned: 16 transactions.
+        let r = coalesce_affine_half(&c, 0x1004, 4).unwrap();
+        assert!(!r.coalesced);
+        assert_eq!(r.transactions, 16);
+        // Broadcast: one combined transaction (8800 GTX combines duplicates).
+        let r = coalesce_affine_half(&c, 0x1000, 0).unwrap();
+        assert_eq!(r.transactions, if c.combine_duplicates { 1 } else { 16 });
+        // Collision-prone stride falls back.
+        assert!(coalesce_affine_half(&c, 0, 1 << 29).is_none());
+        assert!(coalesce_affine_half(&c, 0, 1 << 31).is_none());
+        // Shared: broadcast 1, word stride 1, 2-word stride 2, 16-word 16.
+        assert_eq!(smem_degree_affine(&c, 0), Some(1));
+        assert_eq!(smem_degree_affine(&c, 4), Some(1));
+        assert_eq!(smem_degree_affine(&c, 8), Some(2));
+        assert_eq!(smem_degree_affine(&c, 64), Some(16));
+        assert_eq!(smem_degree_affine(&c, 2), None); // sub-word stride
     }
 
     #[test]

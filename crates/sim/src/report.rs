@@ -12,7 +12,7 @@
 //! cache heat its fleet (and every other tenant's) has built up.
 
 use crate::config::GpuConfig;
-use crate::counters::KernelStats;
+use crate::counters::{row_counters, KernelStats, RowCounters};
 use crate::launch::{launch_traced, LaunchError};
 use crate::memo::{memo_counters, MemoCounters, Served};
 use crate::memory::DeviceMemory;
@@ -38,11 +38,17 @@ pub struct LaunchReport {
     pub served: Served,
     /// Process-wide [`memo_counters`] observed at completion.
     pub counters: MemoCounters,
+    /// Process-wide [`row_counters`] observed at completion: how many
+    /// warp-instruction executions resolved through uniform/affine lane-row
+    /// shapes versus eager full-row evaluation. Like `counters`, a snapshot
+    /// of totals — diff successive reports to attribute a single launch.
+    pub rows: RowCounters,
 }
 
 /// Bumped on any change to [`LaunchReport::encode`]'s byte layout (which
-/// includes the embedded [`wire::encode_stats`] layout).
-pub const REPORT_VERSION: u16 = 1;
+/// includes the embedded [`wire::encode_stats`] layout). Version 2 added
+/// the three row-shape counters after the memo counters.
+pub const REPORT_VERSION: u16 = 2;
 
 fn served_to_u8(s: Served) -> u8 {
     match s {
@@ -74,6 +80,9 @@ impl LaunchReport {
         e.u64(self.counters.dedup_fast_blocks);
         e.u64(self.counters.dedup_sim_blocks);
         e.u64(self.counters.dedup_fallbacks);
+        e.u64(self.rows.uniform);
+        e.u64(self.rows.affine);
+        e.u64(self.rows.full);
         wire::encode_stats(e, &self.stats);
     }
 
@@ -101,11 +110,17 @@ impl LaunchReport {
             dedup_sim_blocks: d.u64()?,
             dedup_fallbacks: d.u64()?,
         };
+        let rows = RowCounters {
+            uniform: d.u64()?,
+            affine: d.u64()?,
+            full: d.u64()?,
+        };
         let stats = wire::decode_stats(d)?;
         Some(LaunchReport {
             stats,
             served,
             counters,
+            rows,
         })
     }
 
@@ -133,6 +148,7 @@ pub fn launch_reported(
         stats,
         served,
         counters: memo_counters(),
+        rows: row_counters(),
     })
 }
 
@@ -164,6 +180,11 @@ mod tests {
                 dedup_sim_blocks: 7,
                 dedup_fallbacks: 8,
             },
+            rows: RowCounters {
+                uniform: 9,
+                affine: 10,
+                full: 11,
+            },
         }
     }
 
@@ -174,6 +195,7 @@ mod tests {
         let back = LaunchReport::decode(&bytes).expect("roundtrip");
         assert_eq!(back.served, Served::Disk);
         assert_eq!(back.counters, r.counters);
+        assert_eq!(back.rows, r.rows);
         assert_eq!(back.stats.cycles, r.stats.cycles);
         assert_eq!(back.stats.by_class, r.stats.by_class);
         assert_eq!(bytes, back.encode(), "canonical re-encoding");

@@ -45,9 +45,10 @@
 #![allow(clippy::too_many_arguments)] // load/store helpers mirror the instruction fields
 
 use crate::config::GpuConfig;
-use crate::counters::{SmStats, StallReason};
+use crate::counters::{RowCounters, SmStats, StallReason};
 use crate::memory::{
-    coalesce_half_warp_noalloc, smem_conflict_degree_noalloc, DeviceMemory, TagCache,
+    coalesce_affine_half, coalesce_half_warp_noalloc, smem_conflict_degree_noalloc,
+    smem_degree_affine, DeviceMemory, TagCache,
 };
 use crate::warp::{RegSource, Warp};
 use crate::witness::{half_sig, replay_block, Ev, WitnessRecorder, WriteBuf};
@@ -55,7 +56,8 @@ use g80_isa::compile::{CompiledKernel, Step};
 use g80_isa::decode::{DecodedKernel, IssueClass, MemKind, MicroOp, NO_REG};
 use g80_isa::exec;
 use g80_isa::inst::{Inst, InstClass, Operand, Space};
-use g80_isa::{Kernel, Value};
+use g80_isa::row;
+use g80_isa::{Kernel, LaneRow, Value};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
@@ -213,6 +215,7 @@ pub fn run_sm(
     // Dense per-class instruction counters, folded into the by_class map
     // once at the end (a per-instruction HashMap update is hot-loop cost).
     let mut class_counts = [0u64; InstClass::COUNT];
+    let mut row_tally = RowCounters::default();
     let mut rr: usize = 0;
 
     // The flattened warp schedule, maintained incrementally: every block of
@@ -475,7 +478,15 @@ pub fn run_sm(
                         let (region, _) = compiled.unwrap().region_at(ri, pc);
                         let (warps, smem) = (&mut block.warps, &mut block.smem);
                         let warp = &mut warps[wi];
-                        crate::compiled::run_region(region, warp, smem, params, &kernel.name, cfg);
+                        crate::compiled::run_region(
+                            region,
+                            warp,
+                            smem,
+                            params,
+                            &kernel.name,
+                            cfg,
+                            &mut row_tally,
+                        );
                         let aux = warp.region_aux[0];
                         let dur =
                             timed_step(cfg, warp, mop, aux, cycle, &mut stats, &mut class_counts);
@@ -507,6 +518,7 @@ pub fn run_sm(
                             record,
                             ev_aux: 0,
                             ev_bytes: 0,
+                            rows: &mut row_tally,
                         };
                         let dur = ctx.execute(block, wi, mop);
                         (dur, ctx.ev_aux, ctx.ev_bytes)
@@ -592,6 +604,7 @@ pub fn run_sm(
         }
     }
     stats.cycles = cycle;
+    crate::counters::add_row_counts(row_tally);
     if dedup {
         crate::memo::count_dedup_fast_blocks(fast_blocks);
         crate::memo::count_dedup_sim_blocks(my_blocks.len() as u64 - fast_blocks);
@@ -764,6 +777,9 @@ struct ExecCtx<'a> {
     record: bool,
     ev_aux: u32,
     ev_bytes: u32,
+    /// Per-SM row-shape tally (flushed to the process-wide counters once
+    /// per `run_sm`).
+    rows: &'a mut RowCounters,
 }
 
 /// Per-lane effective addresses of a memory instruction (the address
@@ -772,6 +788,21 @@ struct ExecCtx<'a> {
 pub(crate) fn addr_row(warp: &Warp, addr_op: Operand, off: i32, params: &[Value]) -> [u32; 32] {
     let row = warp.operand_row(addr_op, params);
     std::array::from_fn(|l| row[l].as_u32().wrapping_add(off as u32))
+}
+
+/// The shape of a memory instruction's per-lane effective-address row
+/// (`operand + off`): the immediate offset shifts the base and preserves
+/// the stride. `Full` means no closed form — fall back to [`addr_row`].
+#[inline]
+pub(crate) fn addr_shape(warp: &Warp, addr_op: Operand, off: i32, params: &[Value]) -> LaneRow {
+    match warp.operand_shape(addr_op, params) {
+        LaneRow::Uniform(v) => LaneRow::Uniform(Value(v.0.wrapping_add(off as u32))),
+        LaneRow::Affine { base, stride } => LaneRow::Affine {
+            base: base.wrapping_add(off as u32),
+            stride,
+        },
+        LaneRow::Full => LaneRow::Full,
+    }
 }
 
 /// Splits an address row into the two half-warp arrays the coalescing and
@@ -822,8 +853,33 @@ impl<'a> ExecCtx<'a> {
         self.class_counts[mop.class.index()] += 1;
 
         let alu_done = self.cycle + cfg.alu_latency;
+        // Row-shape fold fast paths: under a full active mask, an
+        // instruction whose operand shapes fold produces its entire result
+        // row as one `LaneRow` tag — no lane evaluation, no backing-store
+        // write. Gated on `rows_enabled` (immediates/params are `Uniform`
+        // even with tracking off and would otherwise fold). Folds are
+        // bit-exact by construction (`g80_isa::row` tests), so the
+        // scoreboard/timing effects below mirror the eager arms verbatim.
+        let fold = warp.rows_enabled && mask == u32::MAX;
         match inst {
             Inst::Alu { op, dst, a, b } => {
+                if fold {
+                    let sa = warp.operand_shape(a, self.params);
+                    let sb = warp.operand_shape(b, self.params);
+                    if let Some(shape) = row::fold_alu(op, sa, sb) {
+                        warp.set_shape(dst.0, shape);
+                        self.rows.tally(&shape);
+                        warp.reg_ready[dst.0 as usize] = alu_done;
+                        warp.reg_source[dst.0 as usize] = RegSource::Alu;
+                        warp.advance();
+                        return if mop.issue == IssueClass::Imul {
+                            cfg.imul_issue_cycles
+                        } else {
+                            cfg.issue_cycles
+                        };
+                    }
+                }
+                self.rows.full += 1;
                 let ar = warp.operand_row(a, self.params);
                 let br = warp.operand_row(b, self.params);
                 exec::eval_alu_row(op, &ar, &br, warp.reg_row_mut(dst.0), mask);
@@ -837,6 +893,20 @@ impl<'a> ExecCtx<'a> {
                 }
             }
             Inst::Ffma { dst, a, b, c } => {
+                if fold {
+                    let sa = warp.operand_shape(a, self.params);
+                    let sb = warp.operand_shape(b, self.params);
+                    let sc = warp.operand_shape(c, self.params);
+                    if let Some(shape) = row::fold_ffma(sa, sb, sc) {
+                        warp.set_shape(dst.0, shape);
+                        self.rows.tally(&shape);
+                        warp.reg_ready[dst.0 as usize] = alu_done;
+                        warp.reg_source[dst.0 as usize] = RegSource::Alu;
+                        warp.advance();
+                        return cfg.issue_cycles;
+                    }
+                }
+                self.rows.full += 1;
                 let ar = warp.operand_row(a, self.params);
                 let br = warp.operand_row(b, self.params);
                 let cr = warp.operand_row(c, self.params);
@@ -847,6 +917,20 @@ impl<'a> ExecCtx<'a> {
                 cfg.issue_cycles
             }
             Inst::Imad { dst, a, b, c } => {
+                if fold {
+                    let sa = warp.operand_shape(a, self.params);
+                    let sb = warp.operand_shape(b, self.params);
+                    let sc = warp.operand_shape(c, self.params);
+                    if let Some(shape) = row::fold_imad(sa, sb, sc) {
+                        warp.set_shape(dst.0, shape);
+                        self.rows.tally(&shape);
+                        warp.reg_ready[dst.0 as usize] = alu_done;
+                        warp.reg_source[dst.0 as usize] = RegSource::Alu;
+                        warp.advance();
+                        return cfg.imul_issue_cycles;
+                    }
+                }
+                self.rows.full += 1;
                 let ar = warp.operand_row(a, self.params);
                 let br = warp.operand_row(b, self.params);
                 let cr = warp.operand_row(c, self.params);
@@ -857,6 +941,18 @@ impl<'a> ExecCtx<'a> {
                 cfg.imul_issue_cycles
             }
             Inst::Un { op, dst, a } => {
+                if fold {
+                    let sa = warp.operand_shape(a, self.params);
+                    if let Some(shape) = row::fold_un(op, sa) {
+                        warp.set_shape(dst.0, shape);
+                        self.rows.tally(&shape);
+                        warp.reg_ready[dst.0 as usize] = alu_done;
+                        warp.reg_source[dst.0 as usize] = RegSource::Alu;
+                        warp.advance();
+                        return cfg.issue_cycles;
+                    }
+                }
+                self.rows.full += 1;
                 let ar = warp.operand_row(a, self.params);
                 exec::eval_un_row(op, &ar, warp.reg_row_mut(dst.0), mask);
                 warp.reg_ready[dst.0 as usize] = alu_done;
@@ -865,6 +961,18 @@ impl<'a> ExecCtx<'a> {
                 cfg.issue_cycles
             }
             Inst::Sfu { op, dst, a } => {
+                if fold {
+                    let sa = warp.operand_shape(a, self.params);
+                    if let Some(shape) = row::fold_sfu(op, sa) {
+                        warp.set_shape(dst.0, shape);
+                        self.rows.tally(&shape);
+                        warp.reg_ready[dst.0 as usize] = self.cycle + cfg.sfu_latency;
+                        warp.reg_source[dst.0 as usize] = RegSource::Alu;
+                        warp.advance();
+                        return cfg.sfu_issue_cycles;
+                    }
+                }
+                self.rows.full += 1;
                 let ar = warp.operand_row(a, self.params);
                 exec::eval_sfu_row(op, &ar, warp.reg_row_mut(dst.0), mask);
                 warp.reg_ready[dst.0 as usize] = self.cycle + cfg.sfu_latency;
@@ -873,6 +981,19 @@ impl<'a> ExecCtx<'a> {
                 cfg.sfu_issue_cycles
             }
             Inst::SetP { op, ty, dst, a, b } => {
+                if fold {
+                    let sa = warp.operand_shape(a, self.params);
+                    let sb = warp.operand_shape(b, self.params);
+                    if let Some(shape) = row::fold_cmp(op, ty, sa, sb) {
+                        warp.set_shape(dst.0, shape);
+                        self.rows.tally(&shape);
+                        warp.reg_ready[dst.0 as usize] = alu_done;
+                        warp.reg_source[dst.0 as usize] = RegSource::Alu;
+                        warp.advance();
+                        return cfg.issue_cycles;
+                    }
+                }
+                self.rows.full += 1;
                 let ar = warp.operand_row(a, self.params);
                 let br = warp.operand_row(b, self.params);
                 exec::eval_cmp_row(op, ty, &ar, &br, warp.reg_row_mut(dst.0), mask);
@@ -882,6 +1003,20 @@ impl<'a> ExecCtx<'a> {
                 cfg.issue_cycles
             }
             Inst::Sel { dst, c, a, b } => {
+                if fold {
+                    let sc = warp.operand_shape(c, self.params);
+                    let sa = warp.operand_shape(a, self.params);
+                    let sb = warp.operand_shape(b, self.params);
+                    if let Some(shape) = row::fold_sel(sc, sa, sb) {
+                        warp.set_shape(dst.0, shape);
+                        self.rows.tally(&shape);
+                        warp.reg_ready[dst.0 as usize] = alu_done;
+                        warp.reg_source[dst.0 as usize] = RegSource::Alu;
+                        warp.advance();
+                        return cfg.issue_cycles;
+                    }
+                }
+                self.rows.full += 1;
                 let cr = warp.operand_row(c, self.params);
                 let ar = warp.operand_row(a, self.params);
                 let br = warp.operand_row(b, self.params);
@@ -982,13 +1117,7 @@ impl<'a> ExecCtx<'a> {
                         warp.take_branch(m, target.0, reconv.0, next_pc);
                     }
                     Some(p) => {
-                        let preds = warp.reg_row(p.reg.0);
-                        let mut taken = 0u32;
-                        for (lane, pv) in preds.iter().enumerate() {
-                            if mask >> lane & 1 == 1 && pv.as_bool() != p.negate {
-                                taken |= 1 << lane;
-                            }
-                        }
+                        let taken = warp.taken_mask(p.reg.0, p.negate, mask);
                         if self.record {
                             self.ev_aux = taken;
                         }
@@ -1041,6 +1170,49 @@ impl<'a> ExecCtx<'a> {
         let mask = warp.active_mask();
         match space {
             Space::Global => {
+                // Affine-address fast path: coalescing degree of both
+                // halves in closed form; the per-lane work shrinks to the
+                // functional reads.
+                if warp.rows_enabled && mask == u32::MAX {
+                    let ashape = addr_shape(warp, addr, off, self.params);
+                    if let Some((base, stride)) = ashape.base_stride() {
+                        let hi_base = base.wrapping_add(stride.wrapping_mul(16));
+                        if let (Some(lo), Some(hi)) = (
+                            coalesce_affine_half(cfg, base, stride),
+                            coalesce_affine_half(cfg, hi_base, stride),
+                        ) {
+                            self.rows.tally(&ashape);
+                            let mut bytes = 0u64;
+                            for (i, acc) in [&lo, &hi].into_iter().enumerate() {
+                                if acc.coalesced {
+                                    self.stats.coalesced_half_warps += 1;
+                                } else {
+                                    self.stats.uncoalesced_half_warps += 1;
+                                }
+                                self.stats.global_ld_transactions += acc.transactions as u64;
+                                if self.record {
+                                    self.ev_aux |= half_sig(acc) << (16 * i);
+                                }
+                                bytes += acc.bytes;
+                            }
+                            self.stats.global_bytes += bytes;
+                            if self.record {
+                                self.ev_bytes = bytes as u32;
+                            }
+                            let dst_row = warp.reg_row_mut(dst);
+                            let mut a = base;
+                            for slot in dst_row.iter_mut() {
+                                *slot = self.mem.read(a);
+                                a = a.wrapping_add(stride);
+                            }
+                            let done = self.memory_request(bytes);
+                            warp.reg_ready[dst as usize] = done;
+                            warp.reg_source[dst as usize] = RegSource::Memory;
+                            return cfg.issue_cycles;
+                        }
+                    }
+                }
+                self.rows.full += 1;
                 let addrs = addr_row(warp, addr, off, self.params);
                 let (lo, hi) = split_half_warps(&addrs, mask);
                 let mut bytes = 0u64;
@@ -1075,6 +1247,40 @@ impl<'a> ExecCtx<'a> {
                 cfg.issue_cycles
             }
             Space::Shared => {
+                // Affine-address fast path: the bank-conflict degree is
+                // base-independent and identical for both halves, so one
+                // closed-form evaluation replaces both scans.
+                if warp.rows_enabled && mask == u32::MAX {
+                    let ashape = addr_shape(warp, addr, off, self.params);
+                    if let Some((base, stride)) = ashape.base_stride() {
+                        if let Some(degree) = smem_degree_affine(cfg, stride) {
+                            self.rows.tally(&ashape);
+                            let extra = cfg.issue_cycles * (degree as u64 - 1);
+                            self.stats.smem_conflict_extra_cycles += extra;
+                            if self.record {
+                                self.ev_aux = degree;
+                            }
+                            let dst_row = warp.reg_row_mut(dst);
+                            let mut a = base;
+                            for slot in dst_row.iter_mut() {
+                                let idx = (a / 4) as usize;
+                                assert!(
+                                    idx < smem_len,
+                                    "kernel {}: shared load out of bounds ({} >= {})",
+                                    self.kernel.name,
+                                    idx,
+                                    smem_len
+                                );
+                                *slot = smem[idx];
+                                a = a.wrapping_add(stride);
+                            }
+                            warp.reg_ready[dst as usize] = self.cycle + cfg.smem_latency + extra;
+                            warp.reg_source[dst as usize] = RegSource::Alu;
+                            return cfg.issue_cycles + extra;
+                        }
+                    }
+                }
+                self.rows.full += 1;
                 let addrs = addr_row(warp, addr, off, self.params);
                 let (lo, hi) = split_half_warps(&addrs, mask);
                 let degree = smem_conflict_degree_noalloc(cfg, &lo)
@@ -1221,6 +1427,44 @@ impl<'a> ExecCtx<'a> {
         let mask = warp.active_mask();
         match space {
             Space::Global => {
+                if warp.rows_enabled && mask == u32::MAX {
+                    let ashape = addr_shape(warp, addr, off, self.params);
+                    if let Some((base, stride)) = ashape.base_stride() {
+                        let hi_base = base.wrapping_add(stride.wrapping_mul(16));
+                        if let (Some(lo), Some(hi)) = (
+                            coalesce_affine_half(cfg, base, stride),
+                            coalesce_affine_half(cfg, hi_base, stride),
+                        ) {
+                            self.rows.tally(&ashape);
+                            let srcs = warp.operand_row(src, self.params);
+                            let mut bytes = 0u64;
+                            for (i, acc) in [&lo, &hi].into_iter().enumerate() {
+                                if acc.coalesced {
+                                    self.stats.coalesced_half_warps += 1;
+                                } else {
+                                    self.stats.uncoalesced_half_warps += 1;
+                                }
+                                self.stats.global_st_transactions += acc.transactions as u64;
+                                if self.record {
+                                    self.ev_aux |= half_sig(acc) << (16 * i);
+                                }
+                                bytes += acc.bytes;
+                            }
+                            self.stats.global_bytes += bytes;
+                            if self.record {
+                                self.ev_bytes = bytes as u32;
+                            }
+                            let mut a = base;
+                            for &v in srcs.iter() {
+                                self.mem.write(a, v);
+                                a = a.wrapping_add(stride);
+                            }
+                            let _ = self.memory_request(bytes); // bandwidth only
+                            return cfg.issue_cycles;
+                        }
+                    }
+                }
+                self.rows.full += 1;
                 let addrs = addr_row(warp, addr, off, self.params);
                 let srcs = warp.operand_row(src, self.params);
                 let (lo, hi) = split_half_warps(&addrs, mask);
@@ -1253,6 +1497,35 @@ impl<'a> ExecCtx<'a> {
                 cfg.issue_cycles
             }
             Space::Shared => {
+                if warp.rows_enabled && mask == u32::MAX {
+                    let ashape = addr_shape(warp, addr, off, self.params);
+                    if let Some((base, stride)) = ashape.base_stride() {
+                        if let Some(degree) = smem_degree_affine(cfg, stride) {
+                            self.rows.tally(&ashape);
+                            let srcs = warp.operand_row(src, self.params);
+                            let extra = cfg.issue_cycles * (degree as u64 - 1);
+                            self.stats.smem_conflict_extra_cycles += extra;
+                            if self.record {
+                                self.ev_aux = degree;
+                            }
+                            let mut a = base;
+                            for &v in srcs.iter() {
+                                let idx = (a / 4) as usize;
+                                assert!(
+                                    idx < smem_len,
+                                    "kernel {}: shared store out of bounds ({} >= {})",
+                                    self.kernel.name,
+                                    idx,
+                                    smem_len
+                                );
+                                block.smem[idx] = v;
+                                a = a.wrapping_add(stride);
+                            }
+                            return cfg.issue_cycles + extra;
+                        }
+                    }
+                }
+                self.rows.full += 1;
                 let addrs = addr_row(warp, addr, off, self.params);
                 let srcs = warp.operand_row(src, self.params);
                 let (lo, hi) = split_half_warps(&addrs, mask);

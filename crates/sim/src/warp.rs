@@ -9,6 +9,7 @@
 //! independent instructions (and other warps) cover memory latency.
 
 use g80_isa::inst::{Operand, SpecialReg};
+use g80_isa::row::LaneRow;
 use g80_isa::Value;
 
 /// Sentinel "no reconvergence point".
@@ -36,8 +37,24 @@ pub enum RegSource {
 pub struct Warp {
     /// Divergence stack; the top entry is the executing path.
     pub frames: Vec<Frame>,
-    /// Register file: `regs[r * 32 + lane]`.
+    /// Register file backing store: `regs[r * 32 + lane]`. Only valid for a
+    /// register whose shape is [`LaneRow::Full`]; a `Uniform`/`Affine` shape
+    /// supersedes the backing row (which may hold stale lanes) until
+    /// [`Warp::materialize`] expands it.
     pub regs: Vec<Value>,
+    /// Row-shape tag per register (see [`LaneRow`]). With row tracking off
+    /// ([`crate::launch::Rows::Full`]) every entry stays `Full` forever and
+    /// the register file behaves exactly as the eager baseline.
+    pub shapes: Vec<LaneRow>,
+    /// Whether this warp tracks row shapes (resolved from
+    /// [`crate::launch::rows`] at construction). Fold fast paths in the
+    /// engines must check this before consulting operand shapes: immediate
+    /// and param operands are `Uniform` even in full mode and would
+    /// otherwise fold.
+    pub rows_enabled: bool,
+    /// Shapes of the per-lane tid.{x,y,z} rows, classified once at
+    /// construction (`Full` placeholders when row tracking is off).
+    pub(crate) tid_shape: [LaneRow; 3],
     /// Scoreboard: cycle at which each register's pending write lands.
     pub reg_ready: Vec<u64>,
     /// What kind of instruction produced each pending write.
@@ -92,6 +109,28 @@ impl Warp {
                 tids.push((0, 0, 0));
             }
         }
+        let rows_enabled = crate::launch::rows() == crate::launch::Rows::Tracked;
+        let tid_shape = if rows_enabled {
+            let classify_dim = |pick: fn(&(u32, u32, u32)) -> u32| {
+                let mut row = [Value::ZERO; 32];
+                for (lane, t) in tids.iter().enumerate() {
+                    row[lane] = Value::from_u32(pick(t));
+                }
+                LaneRow::classify(&row)
+            };
+            [
+                classify_dim(|t| t.0),
+                classify_dim(|t| t.1),
+                classify_dim(|t| t.2),
+            ]
+        } else {
+            [LaneRow::Full; 3]
+        };
+        let init_shape = if rows_enabled {
+            LaneRow::Uniform(Value::ZERO)
+        } else {
+            LaneRow::Full
+        };
         Warp {
             frames: vec![Frame {
                 pc: 0,
@@ -99,6 +138,9 @@ impl Warp {
                 mask,
             }],
             regs: vec![Value::ZERO; (nregs as usize) * 32],
+            shapes: vec![init_shape; nregs as usize],
+            rows_enabled,
+            tid_shape,
             reg_ready: vec![0; nregs as usize],
             reg_source: vec![RegSource::Alu; nregs as usize],
             local: vec![Vec::new(); 32],
@@ -126,7 +168,14 @@ impl Warp {
             rpc: NO_RPC,
             mask: self.init_mask,
         });
-        self.regs.fill(Value::ZERO);
+        if self.rows_enabled {
+            // All-zero registers are one Uniform tag each; the backing rows
+            // go stale and are re-expanded on demand, so the O(nregs * 32)
+            // fill disappears from the per-block reset path.
+            self.shapes.fill(LaneRow::Uniform(Value::ZERO));
+        } else {
+            self.regs.fill(Value::ZERO);
+        }
         self.reg_ready.fill(0);
         self.reg_source.fill(RegSource::Alu);
         for lane in &mut self.local {
@@ -167,30 +216,126 @@ impl Warp {
         self.frames.last_mut().unwrap().pc += 1;
     }
 
-    /// Reads a register lane.
+    /// Reads a register lane through its shape.
     #[inline]
     pub fn reg(&self, r: u32, lane: usize) -> Value {
-        self.regs[(r as usize) * 32 + lane]
+        match self.shapes[r as usize] {
+            LaneRow::Uniform(v) => v,
+            LaneRow::Affine { base, stride } => {
+                Value(base.wrapping_add(stride.wrapping_mul(lane as u32)))
+            }
+            LaneRow::Full => self.regs[(r as usize) * 32 + lane],
+        }
     }
 
-    /// Writes a register lane.
+    /// Expands a register's shape into the backing row (no-op when already
+    /// `Full`). After this, `regs[r*32..]` is valid and the shape is `Full`.
+    #[inline]
+    pub fn materialize(&mut self, r: u32) {
+        let shape = self.shapes[r as usize];
+        if shape != LaneRow::Full {
+            let base = (r as usize) * 32;
+            let row: &mut [Value; 32] = (&mut self.regs[base..base + 32]).try_into().unwrap();
+            shape.expand_into(row);
+            self.shapes[r as usize] = LaneRow::Full;
+        }
+    }
+
+    /// Writes a register lane (materializing the row first so the other
+    /// lanes keep their shape-implied values).
     #[inline]
     pub fn set_reg(&mut self, r: u32, lane: usize, v: Value) {
+        self.materialize(r);
         self.regs[(r as usize) * 32 + lane] = v;
     }
 
-    /// A register's full 32-lane row.
+    /// Records a folded whole-row write: `r` becomes `shape` without
+    /// touching the backing store. Only valid under a full active mask —
+    /// a partial write must go through [`Warp::reg_row_mut`]/
+    /// [`Warp::set_reg`] so inactive lanes keep their prior values.
+    #[inline]
+    pub fn set_shape(&mut self, r: u32, shape: LaneRow) {
+        debug_assert_ne!(shape, LaneRow::Full);
+        self.shapes[r as usize] = shape;
+    }
+
+    /// A register's full 32-lane backing row. The register must already be
+    /// materialized (shape `Full`); use [`Warp::reg`]/[`Warp::operand_row`]
+    /// for shape-transparent reads.
     #[inline]
     pub fn reg_row(&self, r: u32) -> &[Value; 32] {
+        debug_assert_eq!(self.shapes[r as usize], LaneRow::Full);
         let base = (r as usize) * 32;
         (&self.regs[base..base + 32]).try_into().unwrap()
     }
 
-    /// A register's full 32-lane row, mutably.
+    /// A register's full 32-lane row, mutably (materializing it first).
     #[inline]
     pub fn reg_row_mut(&mut self, r: u32) -> &mut [Value; 32] {
+        self.materialize(r);
         let base = (r as usize) * 32;
         (&mut self.regs[base..base + 32]).try_into().unwrap()
+    }
+
+    /// The shape of an operand row. `Full` means "no structure known"; the
+    /// fold fast paths fall back to [`Warp::operand_row`] in that case.
+    #[inline]
+    pub fn operand_shape(&self, op: Operand, params: &[Value]) -> LaneRow {
+        match op {
+            Operand::Reg(r) => self.shapes[r.0 as usize],
+            Operand::Imm(v) => LaneRow::Uniform(v),
+            Operand::Param(i) => LaneRow::Uniform(params[i as usize]),
+            Operand::Special(s) => self.special_shape(s),
+        }
+    }
+
+    /// The shape of a special-register row. Block/grid geometry registers
+    /// are uniform across the warp by definition; tid rows were classified
+    /// at construction.
+    #[inline]
+    pub fn special_shape(&self, s: SpecialReg) -> LaneRow {
+        match s {
+            SpecialReg::TidX => self.tid_shape[0],
+            SpecialReg::TidY => self.tid_shape[1],
+            SpecialReg::TidZ => self.tid_shape[2],
+            SpecialReg::NtidX => LaneRow::Uniform(Value::from_u32(self.ntid.0)),
+            SpecialReg::NtidY => LaneRow::Uniform(Value::from_u32(self.ntid.1)),
+            SpecialReg::NtidZ => LaneRow::Uniform(Value::from_u32(self.ntid.2)),
+            SpecialReg::CtaidX => LaneRow::Uniform(Value::from_u32(self.ctaid.0)),
+            SpecialReg::CtaidY => LaneRow::Uniform(Value::from_u32(self.ctaid.1)),
+            SpecialReg::NctaidX => LaneRow::Uniform(Value::from_u32(self.nctaid.0)),
+            SpecialReg::NctaidY => LaneRow::Uniform(Value::from_u32(self.nctaid.1)),
+        }
+    }
+
+    /// The taken-lane mask of a predicated branch: active lanes whose
+    /// predicate register (xor `negate`) is true. O(1) for a uniform
+    /// predicate row, bit-identical to the per-lane scan otherwise.
+    pub fn taken_mask(&self, r: u32, negate: bool, mask: u32) -> u32 {
+        match self.shapes[r as usize] {
+            LaneRow::Uniform(v) => {
+                if v.as_bool() != negate {
+                    mask
+                } else {
+                    0
+                }
+            }
+            shape => {
+                let mut taken = 0u32;
+                for lane in 0..32 {
+                    if (mask >> lane) & 1 == 1 {
+                        let pv = match shape {
+                            LaneRow::Full => self.regs[(r as usize) * 32 + lane],
+                            s => s.lane(lane).unwrap(),
+                        };
+                        if pv.as_bool() != negate {
+                            taken |= 1 << lane;
+                        }
+                    }
+                }
+                taken
+            }
+        }
     }
 
     /// Evaluates an operand for all 32 lanes at once. Operand reads are
@@ -201,7 +346,18 @@ impl Warp {
     #[inline]
     pub fn operand_row(&self, op: Operand, params: &[Value]) -> [Value; 32] {
         match op {
-            Operand::Reg(r) => *self.reg_row(r.0),
+            Operand::Reg(r) => match self.shapes[r.0 as usize] {
+                LaneRow::Full => {
+                    let base = (r.0 as usize) * 32;
+                    let row: &[Value; 32] = (&self.regs[base..base + 32]).try_into().unwrap();
+                    *row
+                }
+                shape => {
+                    let mut row = [Value::ZERO; 32];
+                    shape.expand_into(&mut row);
+                    row
+                }
+            },
             Operand::Imm(v) => [v; 32],
             Operand::Param(i) => [params[i as usize]; 32],
             Operand::Special(_) => std::array::from_fn(|lane| self.operand(op, lane, params)),
@@ -406,6 +562,91 @@ mod tests {
         w.local_write(3, 8, Value::from_u32(42));
         assert_eq!(w.local_read(3, 8).as_u32(), 42);
         assert_eq!(w.local_read(4, 8).as_u32(), 0);
+    }
+
+    #[test]
+    fn shapes_read_through_and_materialize_on_lane_write() {
+        let mut w = full_warp();
+        if !w.rows_enabled {
+            return; // G80_SIM_ROWS=full: nothing to test
+        }
+        // Fresh registers read as zero through the Uniform(0) shape.
+        assert_eq!(w.reg(2, 31).as_u32(), 0);
+        w.set_shape(
+            3,
+            LaneRow::Affine {
+                base: 100,
+                stride: 8,
+            },
+        );
+        assert_eq!(w.reg(3, 0).as_u32(), 100);
+        assert_eq!(w.reg(3, 5).as_u32(), 140);
+        let row = w.operand_row(Operand::Reg(g80_isa::inst::Reg(3)), &[]);
+        assert_eq!(row[7].as_u32(), 156);
+        // A lane write materializes: the other lanes keep their affine values.
+        w.set_reg(3, 2, Value::from_u32(7));
+        assert_eq!(w.shapes[3], LaneRow::Full);
+        assert_eq!(w.reg(3, 2).as_u32(), 7);
+        assert_eq!(w.reg(3, 3).as_u32(), 124);
+    }
+
+    #[test]
+    fn tid_shapes_classified_at_construction() {
+        let w = full_warp(); // 32x1x1 block: tid.x = lane, tid.y = tid.z = 0
+        if !w.rows_enabled {
+            return;
+        }
+        assert_eq!(w.tid_shape[0], LaneRow::Affine { base: 0, stride: 1 });
+        assert_eq!(w.tid_shape[1], LaneRow::Uniform(Value::ZERO));
+        // Partial warp: trailing lanes carry tid 0, breaking the affine run.
+        let p = Warp::new(1, 4, (40, 1, 1), (0, 0), (1, 1));
+        assert_eq!(p.tid_shape[0], LaneRow::Full);
+        // 2-D block: tid.x wraps every 16 lanes.
+        let w2 = Warp::new(0, 4, (16, 16, 1), (0, 0), (1, 1));
+        assert_eq!(w2.tid_shape[0], LaneRow::Full);
+    }
+
+    #[test]
+    fn taken_mask_matches_per_lane_scan() {
+        let mut w = full_warp();
+        let mask = 0x0f0f_0f0fu32;
+        for (shape, label) in [
+            (LaneRow::Uniform(Value::from_u32(1)), "uniform-true"),
+            (LaneRow::Uniform(Value::ZERO), "uniform-false"),
+            (LaneRow::Affine { base: 0, stride: 1 }, "affine"),
+        ] {
+            if w.rows_enabled {
+                w.set_shape(1, shape);
+            } else {
+                let mut row = [Value::ZERO; 32];
+                shape.expand_into(&mut row);
+                *w.reg_row_mut(1) = row;
+            }
+            for negate in [false, true] {
+                let mut want = 0u32;
+                for lane in 0..32 {
+                    if (mask >> lane) & 1 == 1 && (w.reg(1, lane).as_bool() != negate) {
+                        want |= 1 << lane;
+                    }
+                }
+                assert_eq!(w.taken_mask(1, negate, mask), want, "{label} neg={negate}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_zero_registers() {
+        let mut w = full_warp();
+        w.set_reg(0, 4, Value::from_u32(99));
+        if w.rows_enabled {
+            w.set_shape(5, LaneRow::Affine { base: 1, stride: 2 });
+        }
+        w.reset((0, 0));
+        for r in 0..8 {
+            for lane in 0..32 {
+                assert_eq!(w.reg(r, lane), Value::ZERO);
+            }
+        }
     }
 
     #[test]

@@ -30,13 +30,15 @@
 
 use crate::config::GpuConfig;
 use crate::memory::{
-    coalesce_half_warp_noalloc, smem_conflict_degree_noalloc, DeviceMemory, HalfWarpAccess,
+    coalesce_affine_half, coalesce_half_warp_noalloc, smem_conflict_degree_noalloc,
+    smem_degree_affine, DeviceMemory, HalfWarpAccess,
 };
-use crate::sm::{addr_row, split_half_warps, LaunchDims};
+use crate::sm::{addr_row, addr_shape, split_half_warps, LaunchDims};
 use crate::warp::Warp;
 use g80_isa::decode::DecodedKernel;
 use g80_isa::exec;
 use g80_isa::inst::{Inst, Space};
+use g80_isa::row;
 use g80_isa::{Kernel, Value};
 use std::collections::HashMap;
 
@@ -356,48 +358,142 @@ fn step(
     // Cleared when the signature is statically proven equal to the
     // representative's instead of being recomputed.
     let mut verify_b = true;
+    // Same row-shape fold fast paths as the timed engines (pure ops have a
+    // zero signature, so folding never affects verification).
+    let fold = warp.rows_enabled && mask == u32::MAX;
     match inst {
         Inst::Alu { op, dst, a, b } => {
-            let ar = warp.operand_row(a, params);
-            let br = warp.operand_row(b, params);
-            exec::eval_alu_row(op, &ar, &br, warp.reg_row_mut(dst.0), mask);
+            let folded = fold
+                && match row::fold_alu(
+                    op,
+                    warp.operand_shape(a, params),
+                    warp.operand_shape(b, params),
+                ) {
+                    Some(shape) => {
+                        warp.set_shape(dst.0, shape);
+                        true
+                    }
+                    None => false,
+                };
+            if !folded {
+                let ar = warp.operand_row(a, params);
+                let br = warp.operand_row(b, params);
+                exec::eval_alu_row(op, &ar, &br, warp.reg_row_mut(dst.0), mask);
+            }
             warp.advance();
         }
         Inst::Ffma { dst, a, b, c } => {
-            let ar = warp.operand_row(a, params);
-            let br = warp.operand_row(b, params);
-            let cr = warp.operand_row(c, params);
-            exec::eval_ffma_row(&ar, &br, &cr, warp.reg_row_mut(dst.0), mask);
+            let folded = fold
+                && match row::fold_ffma(
+                    warp.operand_shape(a, params),
+                    warp.operand_shape(b, params),
+                    warp.operand_shape(c, params),
+                ) {
+                    Some(shape) => {
+                        warp.set_shape(dst.0, shape);
+                        true
+                    }
+                    None => false,
+                };
+            if !folded {
+                let ar = warp.operand_row(a, params);
+                let br = warp.operand_row(b, params);
+                let cr = warp.operand_row(c, params);
+                exec::eval_ffma_row(&ar, &br, &cr, warp.reg_row_mut(dst.0), mask);
+            }
             warp.advance();
         }
         Inst::Imad { dst, a, b, c } => {
-            let ar = warp.operand_row(a, params);
-            let br = warp.operand_row(b, params);
-            let cr = warp.operand_row(c, params);
-            exec::eval_imad_row(&ar, &br, &cr, warp.reg_row_mut(dst.0), mask);
+            let folded = fold
+                && match row::fold_imad(
+                    warp.operand_shape(a, params),
+                    warp.operand_shape(b, params),
+                    warp.operand_shape(c, params),
+                ) {
+                    Some(shape) => {
+                        warp.set_shape(dst.0, shape);
+                        true
+                    }
+                    None => false,
+                };
+            if !folded {
+                let ar = warp.operand_row(a, params);
+                let br = warp.operand_row(b, params);
+                let cr = warp.operand_row(c, params);
+                exec::eval_imad_row(&ar, &br, &cr, warp.reg_row_mut(dst.0), mask);
+            }
             warp.advance();
         }
         Inst::Un { op, dst, a } => {
-            let ar = warp.operand_row(a, params);
-            exec::eval_un_row(op, &ar, warp.reg_row_mut(dst.0), mask);
+            let folded = fold
+                && match row::fold_un(op, warp.operand_shape(a, params)) {
+                    Some(shape) => {
+                        warp.set_shape(dst.0, shape);
+                        true
+                    }
+                    None => false,
+                };
+            if !folded {
+                let ar = warp.operand_row(a, params);
+                exec::eval_un_row(op, &ar, warp.reg_row_mut(dst.0), mask);
+            }
             warp.advance();
         }
         Inst::Sfu { op, dst, a } => {
-            let ar = warp.operand_row(a, params);
-            exec::eval_sfu_row(op, &ar, warp.reg_row_mut(dst.0), mask);
+            let folded = fold
+                && match row::fold_sfu(op, warp.operand_shape(a, params)) {
+                    Some(shape) => {
+                        warp.set_shape(dst.0, shape);
+                        true
+                    }
+                    None => false,
+                };
+            if !folded {
+                let ar = warp.operand_row(a, params);
+                exec::eval_sfu_row(op, &ar, warp.reg_row_mut(dst.0), mask);
+            }
             warp.advance();
         }
         Inst::SetP { op, ty, dst, a, b } => {
-            let ar = warp.operand_row(a, params);
-            let br = warp.operand_row(b, params);
-            exec::eval_cmp_row(op, ty, &ar, &br, warp.reg_row_mut(dst.0), mask);
+            let folded = fold
+                && match row::fold_cmp(
+                    op,
+                    ty,
+                    warp.operand_shape(a, params),
+                    warp.operand_shape(b, params),
+                ) {
+                    Some(shape) => {
+                        warp.set_shape(dst.0, shape);
+                        true
+                    }
+                    None => false,
+                };
+            if !folded {
+                let ar = warp.operand_row(a, params);
+                let br = warp.operand_row(b, params);
+                exec::eval_cmp_row(op, ty, &ar, &br, warp.reg_row_mut(dst.0), mask);
+            }
             warp.advance();
         }
         Inst::Sel { dst, c, a, b } => {
-            let cr = warp.operand_row(c, params);
-            let ar = warp.operand_row(a, params);
-            let br = warp.operand_row(b, params);
-            exec::eval_sel_row(&cr, &ar, &br, warp.reg_row_mut(dst.0), mask);
+            let folded = fold
+                && match row::fold_sel(
+                    warp.operand_shape(c, params),
+                    warp.operand_shape(a, params),
+                    warp.operand_shape(b, params),
+                ) {
+                    Some(shape) => {
+                        warp.set_shape(dst.0, shape);
+                        true
+                    }
+                    None => false,
+                };
+            if !folded {
+                let cr = warp.operand_row(c, params);
+                let ar = warp.operand_row(a, params);
+                let br = warp.operand_row(b, params);
+                exec::eval_sel_row(&cr, &ar, &br, warp.reg_row_mut(dst.0), mask);
+            }
             warp.advance();
         }
         Inst::Ld {
@@ -407,6 +503,35 @@ fn step(
             off,
         } => match space {
             Space::Global => {
+                if let Some((base, stride)) = fold
+                    .then(|| addr_shape(warp, addr, off, params).base_stride())
+                    .flatten()
+                {
+                    let hi_base = base.wrapping_add(stride.wrapping_mul(16));
+                    if let (Some(lo), Some(hi)) = (
+                        coalesce_affine_half(cfg, base, stride),
+                        coalesce_affine_half(cfg, hi_base, stride),
+                    ) {
+                        let mut total = 0u64;
+                        for (i, acc) in [&lo, &hi].into_iter().enumerate() {
+                            aux |= half_sig(acc) << (16 * i);
+                            total += acc.bytes;
+                        }
+                        bytes = total as u32;
+                        let dst_row = warp.reg_row_mut(dst.0);
+                        let mut a = base;
+                        for slot in dst_row.iter_mut() {
+                            *slot = buf.read(mem, a);
+                            a = a.wrapping_add(stride);
+                        }
+                        warp.advance();
+                        if expect.b != (((aux as u64) << 32) | bytes as u64) {
+                            return false;
+                        }
+                        *cursor += 1;
+                        return true;
+                    }
+                }
                 let addrs = addr_row(warp, addr, off, params);
                 let (lo, hi) = split_half_warps(&addrs, mask);
                 let mut total = 0u64;
@@ -427,6 +552,38 @@ fn step(
                 warp.advance();
             }
             Space::Shared => {
+                if let Some((base, stride)) = fold
+                    .then(|| addr_shape(warp, addr, off, params).base_stride())
+                    .flatten()
+                {
+                    let degree = if shared_uniform {
+                        verify_b = false;
+                        Some(0)
+                    } else {
+                        smem_degree_affine(cfg, stride)
+                    };
+                    if let Some(d) = degree {
+                        if !shared_uniform {
+                            aux = d;
+                        }
+                        let dst_row = warp.reg_row_mut(dst.0);
+                        let mut a = base;
+                        for slot in dst_row.iter_mut() {
+                            let idx = (a / 4) as usize;
+                            if idx >= smem_len {
+                                return false;
+                            }
+                            *slot = smem[idx];
+                            a = a.wrapping_add(stride);
+                        }
+                        warp.advance();
+                        if verify_b && expect.b != (((aux as u64) << 32) | bytes as u64) {
+                            return false;
+                        }
+                        *cursor += 1;
+                        return true;
+                    }
+                }
                 let addrs = addr_row(warp, addr, off, params);
                 if shared_uniform {
                     verify_b = false;
@@ -469,6 +626,35 @@ fn step(
             src,
         } => match space {
             Space::Global => {
+                if let Some((base, stride)) = fold
+                    .then(|| addr_shape(warp, addr, off, params).base_stride())
+                    .flatten()
+                {
+                    let hi_base = base.wrapping_add(stride.wrapping_mul(16));
+                    if let (Some(lo), Some(hi)) = (
+                        coalesce_affine_half(cfg, base, stride),
+                        coalesce_affine_half(cfg, hi_base, stride),
+                    ) {
+                        let srcs = warp.operand_row(src, params);
+                        let mut total = 0u64;
+                        for (i, acc) in [&lo, &hi].into_iter().enumerate() {
+                            aux |= half_sig(acc) << (16 * i);
+                            total += acc.bytes;
+                        }
+                        bytes = total as u32;
+                        let mut a = base;
+                        for &v in srcs.iter() {
+                            buf.write(a, v);
+                            a = a.wrapping_add(stride);
+                        }
+                        warp.advance();
+                        if expect.b != (((aux as u64) << 32) | bytes as u64) {
+                            return false;
+                        }
+                        *cursor += 1;
+                        return true;
+                    }
+                }
                 let addrs = addr_row(warp, addr, off, params);
                 let srcs = warp.operand_row(src, params);
                 let (lo, hi) = split_half_warps(&addrs, mask);
@@ -489,6 +675,38 @@ fn step(
                 warp.advance();
             }
             Space::Shared => {
+                if let Some((base, stride)) = fold
+                    .then(|| addr_shape(warp, addr, off, params).base_stride())
+                    .flatten()
+                {
+                    let degree = if shared_uniform {
+                        verify_b = false;
+                        Some(0)
+                    } else {
+                        smem_degree_affine(cfg, stride)
+                    };
+                    if let Some(d) = degree {
+                        if !shared_uniform {
+                            aux = d;
+                        }
+                        let srcs = warp.operand_row(src, params);
+                        let mut a = base;
+                        for &v in srcs.iter() {
+                            let idx = (a / 4) as usize;
+                            if idx >= smem_len {
+                                return false;
+                            }
+                            smem[idx] = v;
+                            a = a.wrapping_add(stride);
+                        }
+                        warp.advance();
+                        if verify_b && expect.b != (((aux as u64) << 32) | bytes as u64) {
+                            return false;
+                        }
+                        *cursor += 1;
+                        return true;
+                    }
+                }
                 let addrs = addr_row(warp, addr, off, params);
                 let srcs = warp.operand_row(src, params);
                 if shared_uniform {
@@ -532,16 +750,7 @@ fn step(
             let next_pc = pc as u32 + 1;
             let taken = match pred {
                 None => mask,
-                Some(p) => {
-                    let preds = warp.reg_row(p.reg.0);
-                    let mut t = 0u32;
-                    for (lane, pv) in preds.iter().enumerate() {
-                        if mask >> lane & 1 == 1 && pv.as_bool() != p.negate {
-                            t |= 1 << lane;
-                        }
-                    }
-                    t
-                }
+                Some(p) => warp.taken_mask(p.reg.0, p.negate, mask),
             };
             aux = taken;
             warp.take_branch(taken, target.0, reconv.0, next_pc);

@@ -25,8 +25,8 @@ use g80::apps::sad::SadApp;
 use g80::apps::saxpy::Saxpy;
 use g80::apps::tpacf::Tpacf;
 use g80::sim::{
-    clear_memo_cache, set_dedup, set_engine, set_executor, set_memo, Dedup, Engine, Executor,
-    KernelStats, Memo,
+    clear_memo_cache, set_dedup, set_engine, set_executor, set_memo, set_rows, Dedup, Engine,
+    Executor, KernelStats, Memo, Rows,
 };
 
 /// Asserts the named fields equal between the two runs.
@@ -130,6 +130,38 @@ fn check(label: &str, mut run: impl FnMut() -> KernelStats) {
         set_memo(Memo::Off);
         set_dedup(Dedup::Off);
     }
+
+    // Row-structure axis: lane-row shape tracking (uniform/affine tags with
+    // closed-form degree computation) is a pure host-side optimization, so
+    // forcing the eager full-row baseline must reproduce the same stats on
+    // all three engines, bit for bit.
+    let prev_rows = g80::sim::rows();
+    set_rows(Rows::Full);
+    set_engine(Engine::Reference);
+    let full_reference = run();
+    assert_stats_identical(
+        &format!("{label} [rows=full reference]"),
+        &reference,
+        &full_reference,
+    );
+    for engine in [Engine::Predecoded, Engine::Compiled] {
+        set_engine(engine);
+        let full = run();
+        assert_stats_identical(
+            &format!("{label} {engine:?} [rows=full]"),
+            &reference,
+            &full,
+        );
+        set_dedup(Dedup::On);
+        let full_dedup = run();
+        assert_stats_identical(
+            &format!("{label} {engine:?} [rows=full dedup]"),
+            &reference,
+            &full_dedup,
+        );
+        set_dedup(Dedup::Off);
+    }
+    set_rows(prev_rows);
     set_engine(Engine::Predecoded);
 }
 
