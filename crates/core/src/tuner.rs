@@ -50,6 +50,13 @@ pub struct SweepResult<C> {
     /// Disk-tier entries evicted during this sweep (corruption, version
     /// skew, or byte-budget compaction).
     pub disk_evictions: u64,
+    /// Transport faults survived while this sweep ran, when the sweep was
+    /// served over the `g80-serve` wire (all-zero for in-process sweeps):
+    /// disconnects observed, frames retried after integrity failures,
+    /// bytes re-sent, and reconnect-and-replay cycles. Attached by
+    /// [`SweepResult::from_parts`] from the client's
+    /// [`g80_sim::NetCounters`] delta.
+    pub net: g80_sim::NetCounters,
 }
 
 impl<C> SweepResult<C> {
@@ -70,6 +77,18 @@ impl<C> SweepResult<C> {
     pub fn from_parts(samples: Vec<Sample<C>>, counters: g80_sim::MemoCounters) -> Self {
         assert!(!samples.is_empty(), "empty configuration space");
         finish(samples, counters)
+    }
+
+    /// [`SweepResult::from_parts`], additionally attaching the transport
+    /// fault tallies the client observed while streaming the sweep.
+    pub fn from_parts_with_net(
+        samples: Vec<Sample<C>>,
+        counters: g80_sim::MemoCounters,
+        net: g80_sim::NetCounters,
+    ) -> Self {
+        let mut r = Self::from_parts(samples, counters);
+        r.net = net;
+        r
     }
 
     /// Cache hit fraction over this sweep's launches, counting both the
@@ -247,6 +266,7 @@ fn finish<C>(samples: Vec<Sample<C>>, delta: g80_sim::MemoCounters) -> SweepResu
         disk_hits: delta.disk_hits,
         disk_misses: delta.disk_misses,
         disk_evictions: delta.disk_evictions,
+        net: g80_sim::NetCounters::default(),
     }
 }
 

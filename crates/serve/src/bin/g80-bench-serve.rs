@@ -19,7 +19,7 @@
 use g80_isa::builder::KernelBuilder;
 use g80_isa::{Kernel, Value};
 use g80_serve::{Addr, Client, WireLaunch};
-use g80_sim::{LaunchDims, RowCounters};
+use g80_sim::{net_counters, LaunchDims, NetCounters, RowCounters};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -83,6 +83,17 @@ fn probe_kernel(tenant: usize) -> Kernel {
     b.build()
 }
 
+/// Field-wise max — reports snapshot daemon process-wide totals, so the
+/// max across reports is the latest daemon state any tenant observed.
+fn net_max(a: &NetCounters, b: &NetCounters) -> NetCounters {
+    NetCounters {
+        disconnects: a.disconnects.max(b.disconnects),
+        frames_retried: a.frames_retried.max(b.frames_retried),
+        bytes_resent: a.bytes_resent.max(b.bytes_resent),
+        reconnects: a.reconnects.max(b.reconnects),
+    }
+}
+
 fn probe_spec(tenant: usize) -> WireLaunch {
     let dims = LaunchDims {
         grid: (8, 1),
@@ -108,12 +119,13 @@ fn main() -> ExitCode {
     };
 
     let started = Instant::now();
+    let net_before = net_counters();
     let workers: Vec<_> = (0..args.tenants)
         .map(|t| {
             let addr = args.addr.clone();
             let requests = args.requests;
             std::thread::spawn(
-                move || -> std::io::Result<(Vec<Duration>, u64, RowCounters)> {
+                move || -> std::io::Result<(Vec<Duration>, u64, RowCounters, NetCounters)> {
                     let mut client = Client::connect_retry(
                         &addr,
                         &format!("bench-{t}"),
@@ -123,6 +135,7 @@ fn main() -> ExitCode {
                     let mut latencies = Vec::with_capacity(requests);
                     let mut cache_hits = 0u64;
                     let mut rows = RowCounters::default();
+                    let mut daemon_net = NetCounters::default();
                     for _ in 0..requests {
                         let t0 = Instant::now();
                         let result = client.launch(&spec)?;
@@ -138,6 +151,7 @@ fn main() -> ExitCode {
                                 rows.uniform = rows.uniform.max(report.rows.uniform);
                                 rows.affine = rows.affine.max(report.rows.affine);
                                 rows.full = rows.full.max(report.rows.full);
+                                daemon_net = net_max(&daemon_net, &report.net);
                             }
                             Err(e) => {
                                 return Err(std::io::Error::other(format!(
@@ -146,7 +160,7 @@ fn main() -> ExitCode {
                             }
                         }
                     }
-                    Ok((latencies, cache_hits, rows))
+                    Ok((latencies, cache_hits, rows, daemon_net))
                 },
             )
         })
@@ -155,14 +169,16 @@ fn main() -> ExitCode {
     let mut latencies = Vec::new();
     let mut cache_hits = 0u64;
     let mut rows = RowCounters::default();
+    let mut daemon_net = NetCounters::default();
     for w in workers {
         match w.join() {
-            Ok(Ok((l, h, r))) => {
+            Ok(Ok((l, h, r, n))) => {
                 latencies.extend(l);
                 cache_hits += h;
                 rows.uniform = rows.uniform.max(r.uniform);
                 rows.affine = rows.affine.max(r.affine);
                 rows.full = rows.full.max(r.full);
+                daemon_net = net_max(&daemon_net, &n);
             }
             Ok(Err(e)) => {
                 eprintln!("g80-bench-serve: tenant failed: {e}");
@@ -197,6 +213,20 @@ fn main() -> ExitCode {
     println!(
         "g80-bench-serve: daemon row shapes: {} uniform, {} affine, {} full",
         rows.uniform, rows.affine, rows.full
+    );
+    // Two views of transport chaos: what THIS process's clients survived
+    // (recovery actions taken here) and the daemon's process-wide totals
+    // as snapshotted in the last report each tenant saw.
+    let client_net = net_counters().since(&net_before);
+    println!(
+        "g80-bench-serve: transport faults survived: client {} disconnects, {} frame retries, \
+         {} reconnects, {} bytes resent; daemon totals {} disconnects, {} reconnects",
+        client_net.disconnects,
+        client_net.frames_retried,
+        client_net.reconnects,
+        client_net.bytes_resent,
+        daemon_net.disconnects,
+        daemon_net.reconnects
     );
 
     let mut failed = false;

@@ -2,7 +2,9 @@
 //!
 //! Reads its configuration from the environment (`G80_SERVE_ADDR`,
 //! `G80_SERVE_TENANT_BLOCKS`, `G80_SERVE_TENANT_QUEUE`,
-//! `G80_SERVE_MAX_BLOCKS`, plus every `G80_SIM_*` toggle the simulator
+//! `G80_SERVE_MAX_BLOCKS`, `G80_SERVE_READ_TIMEOUT_MS`,
+//! `G80_SERVE_IDLE_TIMEOUT_MS`, `G80_SERVE_MAX_CONNS`,
+//! `G80_SERVE_NET_FAULTS`, plus every `G80_SIM_*` toggle the simulator
 //! honors — engine, memo size, disk cache, fault injection), binds, and
 //! serves until a client sends a Shutdown request. Exits 0 after a clean
 //! drain.
@@ -28,6 +30,12 @@ fn main() -> ExitCode {
     // CI scripts and the load generator parse this line for the resolved
     // address (ephemeral TCP ports).
     println!("g80-serve listening on {}", server.local_addr());
+    if let Some(cfg) = g80_serve::net_fault_config() {
+        println!(
+            "g80-serve network chaos armed: seed {:#x}, rate {}, kind {:?}",
+            cfg.seed, cfg.rate, cfg.kind
+        );
+    }
     match server.join() {
         Ok(()) => {
             println!("g80-serve drained cleanly");

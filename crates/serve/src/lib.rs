@@ -22,7 +22,16 @@
 //!   faults, panics, quota rejections, drain), never a dropped
 //!   connection.
 //! * [`client`] — blocking typed client with transparent retry of
-//!   injected-fault errors.
+//!   injected-fault errors, in-place re-request on frame corruption, and
+//!   reconnect-and-replay (jittered exponential backoff) when the
+//!   connection dies mid-request.
+//! * [`framed`] — CRC-guarded framing over a [`net::Stream`]: every frame
+//!   carries a CRC32 trailer, reads enforce idle/mid-frame deadlines, and
+//!   the seeded [`netfault`] layer injects transport chaos at four sites
+//!   (client/server × read/write) when `G80_SERVE_NET_FAULTS` is armed.
+//! * [`netfault`] — deterministic per-site fault schedules (splitmix64
+//!   over the call index): disconnects, truncation, bit corruption, frame
+//!   splitting, stalls — bit-identical across reruns of the same seed.
 //!
 //! Every launch runs through `g80_sim::launch_reported` on the daemon's
 //! process-wide pool and caches, so stats are bit-identical to an
@@ -33,12 +42,18 @@
 
 pub mod admission;
 pub mod client;
+pub mod framed;
 pub mod net;
+pub mod netfault;
 pub mod protocol;
 pub mod server;
 
 pub use admission::{Admission, Quota, Verdict};
 pub use client::Client;
+pub use framed::{is_crc_mismatch, FramedStream, Side};
 pub use net::Addr;
+pub use netfault::{
+    net_fault_config, set_net_faults, NetFault, NetFaultConfig, NetFaultKind, NetSite,
+};
 pub use protocol::{Request, Response, WireError, WireLaunch, PROTOCOL_VERSION};
 pub use server::{serve, ServeConfig, Server};

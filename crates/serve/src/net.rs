@@ -66,6 +66,23 @@ impl Stream {
             Stream::Unix(s) => s.set_read_timeout(t),
         }
     }
+
+    pub fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(t),
+            Stream::Unix(s) => s.set_write_timeout(t),
+        }
+    }
+
+    /// Tears down both directions of the connection. Used by the
+    /// fault-injection layer to simulate a peer vanishing mid-frame; the
+    /// next read on either end observes EOF or a reset, never a hang.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
 }
 
 impl Read for Stream {

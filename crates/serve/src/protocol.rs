@@ -1,37 +1,45 @@
 //! The `g80-serve` wire protocol: versioned, typed, length-prefixed frames
 //! carrying launch requests and streamed responses.
 //!
-//! Every message is one frame: a little-endian `u32` payload length
-//! followed by that many payload bytes, encoded with the canonical
-//! [`g80_sim::wire`] codec (same rules as the disk cache tier: LE
-//! integers, u64-length-prefixed UTF-8 strings, strict decoding). The
-//! first payload byte is a message tag. A connection opens with
+//! Every message is one frame: a little-endian `u32` payload length,
+//! that many payload bytes, then a little-endian `u32` CRC-32 of the
+//! payload ([`g80_sim::wire::crc32`], added in protocol version 3 so
+//! on-wire corruption is caught by an integrity check instead of
+//! surfacing as a confusing decode failure — or worse, not at all).
+//! Payloads are encoded with the canonical [`g80_sim::wire`] codec (same
+//! rules as the disk cache tier: LE integers, u64-length-prefixed UTF-8
+//! strings, strict decoding). The first payload byte is a message tag. A
+//! connection opens with
 //! [`Request::Hello`] / [`Response::HelloOk`] agreeing on
 //! [`PROTOCOL_VERSION`]; afterwards each request produces one response,
 //! except [`Request::Batch`] / [`Request::Sweep`], which stream one
 //! [`Response::Item`] per spec followed by a [`Response::Done`] carrying
 //! the daemon's cache-counter delta for the whole stream.
 //!
-//! Errors are *values*, not connection state: a malformed frame, a quota
-//! rejection, or a fault-injected decode tamper all come back as
-//! [`Response::Error`] with a typed [`WireError`], and the connection
-//! stays usable. Only a frame whose declared length exceeds
-//! [`MAX_FRAME_BYTES`] closes the connection, because framing itself can
-//! no longer be trusted.
+//! Errors are *values*, not connection state: a malformed frame, a
+//! failed CRC, a quota rejection, an overload shed, or a fault-injected
+//! decode tamper all come back as [`Response::Error`] with a typed
+//! [`WireError`], and the connection stays usable (a CRC failure
+//! consumes exactly one frame — the length field was validated first, so
+//! framing stays synchronized). Only a frame whose declared length
+//! exceeds [`MAX_FRAME_BYTES`] closes the connection, because framing
+//! itself can no longer be trusted.
 
 use g80_isa::{
     AluOp, AtomOp, CmpOp, Inst, Kernel, Label, Operand, Pred, Reg, Scalar, SfuOp, Space,
     SpecialReg, UnOp, Value,
 };
-use g80_sim::wire::{Dec, Enc};
-use g80_sim::{LaunchDims, LaunchError, LaunchReport, MemoCounters};
+use g80_sim::wire::{crc32, Dec, Enc};
+use g80_sim::{LaunchDims, LaunchError, LaunchReport, MemoCounters, NetCounters};
 use std::io::{self, Read, Write};
 
 /// Bumped on any incompatible change to the framing, the message tags, or
 /// any embedded encoding (including [`g80_sim::wire::encode_stats`]).
 /// Version 2 tracks the [`g80_sim::LaunchReport`] layout change that added
-/// the row-shape counters.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// the row-shape counters. Version 3 appends a CRC-32 to every frame,
+/// adds the `BadFrame`/`Overloaded` errors, the transport-fault counters
+/// on [`Response::Done`], and the net-counter block in `LaunchReport`.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on one frame's payload. A header above this is treated as a
 /// framing desync and the connection is dropped.
@@ -42,8 +50,14 @@ pub const MAX_FRAME_BYTES: u32 = 64 << 20;
 pub const MAX_MEM_BYTES: u32 = 256 << 20;
 
 // ---- framing ---------------------------------------------------------------
+//
+// These are the *plain* codec functions over any Read/Write — the
+// reference implementation of the v3 frame layout, used by tests and
+// simple tooling. Live connections go through `crate::framed`, which
+// produces byte-identical frames but adds deadlines and the injected
+// transport-fault schedule.
 
-/// Writes one length-prefixed frame.
+/// Writes one CRC-trailed length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
         .ok()
@@ -51,12 +65,15 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
     w.flush()
 }
 
-/// Reads one frame. `Ok(None)` means the peer closed the connection
-/// cleanly at a frame boundary; an oversized header is an error (framing
-/// desync — the caller must drop the connection).
+/// Reads one frame and verifies its CRC. `Ok(None)` means the peer closed
+/// the connection cleanly at a frame boundary; an oversized header is an
+/// error (framing desync — the caller must drop the connection); a CRC
+/// mismatch is an `InvalidData` error with the frame fully consumed, so
+/// framing stays synchronized.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut hdr = [0u8; 4];
     match r.read_exact(&mut hdr) {
@@ -73,6 +90,16 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
+    let mut crc = [0u8; 4];
+    r.read_exact(&mut crc)?;
+    let wire = u32::from_le_bytes(crc);
+    let computed = crc32(&payload);
+    if wire != computed {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame CRC mismatch: expected {wire:#010x}, got {computed:#010x}"),
+        ));
+    }
     Ok(Some(payload))
 }
 
@@ -534,6 +561,16 @@ pub enum WireError {
     Throttled(String),
     /// The daemon is draining and accepts no further work.
     Shutdown,
+    /// The request frame arrived with a failed CRC (on-wire corruption).
+    /// The frame was consumed whole, so the connection stays synchronized
+    /// and the client re-sends — launches are content-hash keyed, so the
+    /// replay is idempotent.
+    BadFrame(String),
+    /// The daemon is at its connection cap and shed this connection
+    /// before the handshake. Reconnect after `retry_after_ms`.
+    Overloaded {
+        retry_after_ms: u64,
+    },
 }
 
 impl WireError {
@@ -600,6 +637,14 @@ impl WireError {
                 e.str(s);
             }
             WireError::Shutdown => e.u8(10),
+            WireError::BadFrame(s) => {
+                e.u8(11);
+                e.str(s);
+            }
+            WireError::Overloaded { retry_after_ms } => {
+                e.u8(12);
+                e.u64(*retry_after_ms);
+            }
         }
     }
 
@@ -621,6 +666,10 @@ impl WireError {
             8 => WireError::Rejected(d.str()?),
             9 => WireError::Throttled(d.str()?),
             10 => WireError::Shutdown,
+            11 => WireError::BadFrame(d.str()?),
+            12 => WireError::Overloaded {
+                retry_after_ms: d.u64()?,
+            },
             _ => return None,
         })
     }
@@ -674,6 +723,13 @@ impl std::fmt::Display for WireError {
             WireError::Rejected(s) => write!(f, "Rejected: {s}"),
             WireError::Throttled(s) => write!(f, "Throttled: {s}"),
             WireError::Shutdown => write!(f, "Shutdown: daemon is draining"),
+            WireError::BadFrame(s) => write!(f, "BadFrame: {s}"),
+            WireError::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "Overloaded: connection shed, retry after {retry_after_ms} ms"
+                )
+            }
         }
     }
 }
@@ -782,8 +838,14 @@ pub enum Response {
     },
     /// Terminates a `Batch`/`Sweep` stream; `counters` is the delta of the
     /// daemon's process-wide cache counters across the stream (shared by
-    /// all tenants — cross-client provenance, see EXPERIMENTS.md).
-    Done { counters: MemoCounters },
+    /// all tenants — cross-client provenance, see EXPERIMENTS.md), and
+    /// `net` the matching delta of its transport-fault counters — the
+    /// disconnects/retries/replays the daemon survived while the stream
+    /// ran.
+    Done {
+        counters: MemoCounters,
+        net: NetCounters,
+    },
     /// Request-level typed failure (decode error, admission verdict,
     /// drain). The connection remains usable.
     Error(WireError),
@@ -812,6 +874,22 @@ fn dec_counters(d: &mut Dec) -> Option<MemoCounters> {
         dedup_fast_blocks: d.u64()?,
         dedup_sim_blocks: d.u64()?,
         dedup_fallbacks: d.u64()?,
+    })
+}
+
+fn enc_net_counters(e: &mut Enc, n: &NetCounters) {
+    e.u64(n.disconnects);
+    e.u64(n.frames_retried);
+    e.u64(n.bytes_resent);
+    e.u64(n.reconnects);
+}
+
+fn dec_net_counters(d: &mut Dec) -> Option<NetCounters> {
+    Some(NetCounters {
+        disconnects: d.u64()?,
+        frames_retried: d.u64()?,
+        bytes_resent: d.u64()?,
+        reconnects: d.u64()?,
     })
 }
 
@@ -867,9 +945,10 @@ impl Response {
                 e.u32(*index);
                 enc_report_result(&mut e, result);
             }
-            Response::Done { counters } => {
+            Response::Done { counters, net } => {
                 e.u8(3);
                 enc_counters(&mut e, counters);
+                enc_net_counters(&mut e, net);
             }
             Response::Error(err) => {
                 e.u8(4);
@@ -908,6 +987,7 @@ impl Response {
             },
             3 => Response::Done {
                 counters: dec_counters(&mut d)?,
+                net: dec_net_counters(&mut d)?,
             },
             4 => Response::Error(WireError::decode_from(&mut d)?),
             5 => Response::ShutdownOk,
@@ -1122,6 +1202,8 @@ mod tests {
             WireError::Rejected("too big".into()),
             WireError::Throttled("queue full".into()),
             WireError::Shutdown,
+            WireError::BadFrame("crc mismatch".into()),
+            WireError::Overloaded { retry_after_ms: 50 },
         ];
         for err in errs {
             let bytes = Response::Error(err.clone()).encode();
@@ -1154,6 +1236,27 @@ mod tests {
 
         let bad = (MAX_FRAME_BYTES + 1).to_le_bytes();
         assert!(read_frame(&mut &bad[..]).is_err(), "oversize header");
+    }
+
+    #[test]
+    fn frame_crc_rejects_any_flipped_bit() {
+        let mut clean = Vec::new();
+        write_frame(&mut clean, b"integrity").unwrap();
+        // Flip each payload byte in turn: every corruption must be caught,
+        // and the error must leave the reader at the next frame boundary.
+        for i in 4..4 + b"integrity".len() {
+            let mut bent = clean.clone();
+            bent[i] ^= 0x40;
+            let mut r = &bent[..];
+            let err = read_frame(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "byte {i}");
+            assert!(r.is_empty(), "frame must be fully consumed on CRC failure");
+        }
+        // A flipped CRC trailer byte is also caught.
+        let n = clean.len();
+        let mut bent = clean.clone();
+        bent[n - 1] ^= 1;
+        assert!(read_frame(&mut &bent[..]).is_err());
     }
 
     #[test]

@@ -15,6 +15,17 @@
 //! * the `serve.decode` fault site tampers with request decoding — a
 //!   typed tamper yields [`WireError::Fault`] with the frame already
 //!   consumed, so framing stays synchronized and the client can resend;
+//! * a frame failing its CRC ([`crate::framed`]) yields a typed
+//!   [`WireError::BadFrame`] on the still-synchronized connection — the
+//!   client re-sends the idempotent request;
+//! * a connection dribbling a frame past the mid-frame deadline
+//!   (`G80_SERVE_READ_TIMEOUT_MS`) or idling past the idle timeout
+//!   (`G80_SERVE_IDLE_TIMEOUT_MS`, off by default) is *reaped*: closed,
+//!   counted, slot freed — a slowloris client cannot pin a thread;
+//! * when [`ServeConfig::max_conns`] connections are open, further
+//!   accepts are *shed* with a typed [`WireError::Overloaded`] carrying a
+//!   retry hint, then closed — overload degrades into fast typed refusals
+//!   instead of unbounded thread growth;
 //! * only an oversized frame header (framing desync) or a transport error
 //!   closes a connection.
 //!
@@ -24,16 +35,15 @@
 //! returns once the last handler exits.
 
 use crate::admission::{Admission, Quota, Verdict};
+use crate::framed::{is_crc_mismatch, FramedStream, Side};
 use crate::net::{Addr, Listener, Stream};
-use crate::protocol::{
-    write_frame, Request, Response, WireError, WireLaunch, MAX_FRAME_BYTES, MAX_MEM_BYTES,
-    PROTOCOL_VERSION,
-};
+use crate::protocol::{Request, Response, WireError, WireLaunch, MAX_MEM_BYTES, PROTOCOL_VERSION};
 use g80_sim::fault::{self, Site};
 use g80_sim::{
-    launch_reported, memo_counters, DeviceMemory, GpuConfig, LaunchReport, MemoCounters,
+    launch_reported, memo_counters, net_counters, note_net_disconnect, DeviceMemory, GpuConfig,
+    LaunchReport, MemoCounters,
 };
-use std::io::{self, Read};
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -52,35 +62,68 @@ pub struct ServeConfig {
     pub quota: Quota,
     /// The simulated machine every request runs on.
     pub gpu: GpuConfig,
+    /// Mid-frame stall killer: a connection that starts a frame but does
+    /// not finish it within this window is reaped. `None` disables (a
+    /// slowloris peer then holds its thread forever — only for tests).
+    pub read_timeout: Option<Duration>,
+    /// Idle-connection reaper: a connection with no frame in progress for
+    /// this long is closed. `None` (the default) lets idle connections
+    /// persist — clients legitimately hold connections between bursts.
+    pub idle_timeout: Option<Duration>,
+    /// Connection cap: accepts beyond this many open connections are shed
+    /// with a typed [`WireError::Overloaded`] instead of spawning
+    /// unbounded handler threads.
+    pub max_conns: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: Addr::Tcp("127.0.0.1:7808".into()),
+            quota: Quota::default(),
+            gpu: GpuConfig::geforce_8800_gtx(),
+            read_timeout: Some(Duration::from_millis(5000)),
+            idle_timeout: None,
+            max_conns: 256,
+        }
+    }
 }
 
 impl ServeConfig {
     /// Reads `G80_SERVE_ADDR` (default `tcp:127.0.0.1:7808`),
     /// `G80_SERVE_TENANT_BLOCKS` (per-tenant in-flight block budget, which
     /// is also the per-launch cap), `G80_SERVE_TENANT_QUEUE` (waiting
-    /// requests per tenant), and `G80_SERVE_MAX_BLOCKS` (global in-flight
-    /// budget). Unset or unparsable values keep the [`Quota::default`].
+    /// requests per tenant), `G80_SERVE_MAX_BLOCKS` (global in-flight
+    /// budget), `G80_SERVE_READ_TIMEOUT_MS` (mid-frame stall killer,
+    /// default 5000, 0 disables), `G80_SERVE_IDLE_TIMEOUT_MS` (idle
+    /// reaper, default 0 = disabled), and `G80_SERVE_MAX_CONNS`
+    /// (connection cap, default 256). Unset or unparsable values keep the
+    /// defaults.
     pub fn from_env() -> io::Result<Self> {
-        let addr = match std::env::var("G80_SERVE_ADDR") {
-            Ok(v) => Addr::parse(&v)?,
-            Err(_) => Addr::Tcp("127.0.0.1:7808".into()),
-        };
-        let mut quota = Quota::default();
+        let mut cfg = ServeConfig::default();
+        if let Ok(v) = std::env::var("G80_SERVE_ADDR") {
+            cfg.addr = Addr::parse(&v)?;
+        }
         if let Some(v) = env_u64("G80_SERVE_TENANT_BLOCKS") {
-            quota.max_inflight_blocks = v;
-            quota.max_blocks_per_launch = v;
+            cfg.quota.max_inflight_blocks = v;
+            cfg.quota.max_blocks_per_launch = v;
         }
         if let Some(v) = env_u64("G80_SERVE_TENANT_QUEUE") {
-            quota.max_queued = v as usize;
+            cfg.quota.max_queued = v as usize;
         }
         if let Some(v) = env_u64("G80_SERVE_MAX_BLOCKS") {
-            quota.max_total_blocks = v;
+            cfg.quota.max_total_blocks = v;
         }
-        Ok(ServeConfig {
-            addr,
-            quota,
-            gpu: GpuConfig::geforce_8800_gtx(),
-        })
+        if let Some(v) = env_u64("G80_SERVE_READ_TIMEOUT_MS") {
+            cfg.read_timeout = (v > 0).then(|| Duration::from_millis(v));
+        }
+        if let Some(v) = env_u64("G80_SERVE_IDLE_TIMEOUT_MS") {
+            cfg.idle_timeout = (v > 0).then(|| Duration::from_millis(v));
+        }
+        if let Some(v) = env_u64("G80_SERVE_MAX_CONNS") {
+            cfg.max_conns = v.max(1);
+        }
+        Ok(cfg)
     }
 }
 
@@ -92,6 +135,10 @@ fn env_u64(name: &str) -> Option<u64> {
 /// shutdown flag.
 const POLL_TICK: Duration = Duration::from_millis(20);
 
+/// Shed responses carry this retry hint: a couple of poll ticks, long
+/// enough for a slot to free under normal churn.
+const SHED_RETRY_AFTER_MS: u64 = 50;
+
 struct Shared {
     admission: Arc<Admission>,
     gpu: GpuConfig,
@@ -101,6 +148,13 @@ struct Shared {
     idle_cv: Condvar,
     /// Served-request counter (metrics; exposed for tests).
     requests: AtomicU64,
+    read_timeout: Option<Duration>,
+    idle_timeout: Option<Duration>,
+    max_conns: u64,
+    /// Connections closed by the stall killer / idle reaper.
+    reaped: AtomicU64,
+    /// Connections refused at the cap with a typed Overloaded.
+    shed: AtomicU64,
 }
 
 impl Shared {
@@ -136,6 +190,16 @@ impl Server {
         self.shared.requests.load(Ordering::SeqCst)
     }
 
+    /// Connections closed by the mid-frame stall killer or idle reaper.
+    pub fn reaped(&self) -> u64 {
+        self.shared.reaped.load(Ordering::SeqCst)
+    }
+
+    /// Connections shed at the cap with a typed `Overloaded`.
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::SeqCst)
+    }
+
     /// Blocks until the daemon has drained: shutdown triggered, accept
     /// loop exited, and every connection handler finished.
     pub fn join(self) -> io::Result<()> {
@@ -168,6 +232,11 @@ pub fn serve(cfg: ServeConfig) -> io::Result<Server> {
         active: Mutex::new(0),
         idle_cv: Condvar::new(),
         requests: AtomicU64::new(0),
+        read_timeout: cfg.read_timeout,
+        idle_timeout: cfg.idle_timeout,
+        max_conns: cfg.max_conns.max(1),
+        reaped: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = thread::Builder::new()
@@ -188,7 +257,18 @@ fn accept_loop(listener: Listener, shared: Arc<Shared>) -> io::Result<()> {
         }
         match listener.accept() {
             Ok(Some(stream)) => {
-                *fault::lock_recover(&shared.active) += 1;
+                {
+                    let mut active = fault::lock_recover(&shared.active);
+                    if *active >= shared.max_conns {
+                        // Load shedding: refuse with a typed Overloaded
+                        // and a retry hint instead of spawning a thread.
+                        drop(active);
+                        shared.shed.fetch_add(1, Ordering::SeqCst);
+                        shed_connection(stream);
+                        continue;
+                    }
+                    *active += 1;
+                }
                 let conn_shared = Arc::clone(&shared);
                 let spawned =
                     thread::Builder::new()
@@ -197,7 +277,9 @@ fn accept_loop(listener: Listener, shared: Arc<Shared>) -> io::Result<()> {
                             // Connection-level transport errors are expected
                             // (peers vanish); they end the connection, not the
                             // daemon.
-                            let _ = handle_connection(stream, &conn_shared);
+                            if handle_connection(stream, &conn_shared).is_err() {
+                                note_net_disconnect();
+                            }
                             let mut active = fault::lock_recover(&conn_shared.active);
                             *active -= 1;
                             drop(active);
@@ -216,86 +298,82 @@ fn accept_loop(listener: Listener, shared: Arc<Shared>) -> io::Result<()> {
     }
 }
 
-/// Reads one frame, polling the drain flag while idle. `Ok(None)` = the
-/// peer closed, or the daemon is draining and no frame has started.
-fn read_frame_poll(stream: &mut Stream, shared: &Shared) -> io::Result<Option<Vec<u8>>> {
-    let mut hdr = [0u8; 4];
-    let mut got = 0;
-    while got < 4 {
-        if got == 0 && shared.shutting_down() {
-            return Ok(None);
-        }
-        match stream.read(&mut hdr[got..]) {
-            Ok(0) => {
-                return if got == 0 {
-                    Ok(None)
-                } else {
-                    Err(io::ErrorKind::UnexpectedEof.into())
-                }
-            }
-            Ok(n) => got += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) => {}
-            Err(e) => return Err(e),
-        }
-    }
-    let len = u32::from_le_bytes(hdr);
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame header declares {len} bytes"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    let mut got = 0;
-    // Mid-frame: the bytes are committed, keep reading through timeouts.
-    while got < payload.len() {
-        match stream.read(&mut payload[got..]) {
-            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-            Ok(n) => got += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(Some(payload))
+/// Best-effort typed refusal on the accept thread. The write timeout is
+/// tight: a shed peer that will not even read 50-odd bytes gets dropped
+/// without blocking further accepts.
+fn shed_connection(stream: Stream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut framed = FramedStream::new(stream, Side::Server);
+    let _ = framed.write_frame(
+        &Response::Error(WireError::Overloaded {
+            retry_after_ms: SHED_RETRY_AFTER_MS,
+        })
+        .encode(),
+    );
 }
 
-fn send(stream: &mut Stream, resp: &Response) -> io::Result<()> {
-    write_frame(stream, &resp.encode())
+/// One received event on a connection.
+enum Recv {
+    Frame(Vec<u8>),
+    /// Peer closed at a frame boundary, or drain with no frame started.
+    Closed,
+    /// Deadline exceeded: the stall killer or idle reaper fired.
+    Reaped,
+    /// CRC failure: frame consumed, connection synchronized, payload lost.
+    BadFrame(String),
 }
 
-fn handle_connection(mut stream: Stream, shared: &Shared) -> io::Result<()> {
+fn recv_frame(framed: &mut FramedStream, shared: &Shared) -> io::Result<Recv> {
+    match framed.read_frame_deadline(shared.idle_timeout, shared.read_timeout, &|| {
+        !shared.shutting_down()
+    }) {
+        Ok(Some(frame)) => Ok(Recv::Frame(frame)),
+        Ok(None) => Ok(Recv::Closed),
+        Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+            shared.reaped.fetch_add(1, Ordering::SeqCst);
+            Ok(Recv::Reaped)
+        }
+        Err(e) if is_crc_mismatch(&e) => Ok(Recv::BadFrame(e.to_string())),
+        Err(e) => Err(e),
+    }
+}
+
+fn send(framed: &mut FramedStream, resp: &Response) -> io::Result<()> {
+    framed.write_frame(&resp.encode())
+}
+
+fn handle_connection(stream: Stream, shared: &Shared) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL_TICK))?;
+    // A write stalling as long as the read deadline means the peer has
+    // stopped draining its socket; the failed write ends the connection.
+    stream.set_write_timeout(shared.read_timeout)?;
+    let mut framed = FramedStream::new(stream, Side::Server);
 
-    // Handshake: the first frame must be a version-matched Hello.
-    let tenant = {
-        let Some(frame) = read_frame_poll(&mut stream, shared)? else {
-            return Ok(());
+    // Handshake: the first frame must be a version-matched Hello. A
+    // corrupted Hello gets a typed BadFrame and another chance — the
+    // client re-sends on the same connection.
+    let tenant = loop {
+        let frame = match recv_frame(&mut framed, shared)? {
+            Recv::Frame(f) => f,
+            Recv::Closed | Recv::Reaped => return Ok(()),
+            Recv::BadFrame(msg) => {
+                send(&mut framed, &Response::Error(WireError::BadFrame(msg)))?;
+                continue;
+            }
         };
         match Request::decode(&frame) {
             Some(Request::Hello { version, tenant }) if version == PROTOCOL_VERSION => {
                 send(
-                    &mut stream,
+                    &mut framed,
                     &Response::HelloOk {
                         version: PROTOCOL_VERSION,
                     },
                 )?;
-                tenant
+                break tenant;
             }
             Some(Request::Hello { version, .. }) => {
                 send(
-                    &mut stream,
+                    &mut framed,
                     &Response::Error(WireError::Malformed(format!(
                         "protocol version mismatch: client {version}, daemon {PROTOCOL_VERSION}"
                     ))),
@@ -304,7 +382,7 @@ fn handle_connection(mut stream: Stream, shared: &Shared) -> io::Result<()> {
             }
             _ => {
                 send(
-                    &mut stream,
+                    &mut framed,
                     &Response::Error(WireError::Malformed(
                         "expected Hello as the first request".into(),
                     )),
@@ -315,8 +393,13 @@ fn handle_connection(mut stream: Stream, shared: &Shared) -> io::Result<()> {
     };
 
     loop {
-        let Some(frame) = read_frame_poll(&mut stream, shared)? else {
-            return Ok(());
+        let frame = match recv_frame(&mut framed, shared)? {
+            Recv::Frame(f) => f,
+            Recv::Closed | Recv::Reaped => return Ok(()),
+            Recv::BadFrame(msg) => {
+                send(&mut framed, &Response::Error(WireError::BadFrame(msg)))?;
+                continue;
+            }
         };
         shared.requests.fetch_add(1, Ordering::SeqCst);
         // The whole decode+execute path is unwind-safe: a panic (injected
@@ -325,7 +408,7 @@ fn handle_connection(mut stream: Stream, shared: &Shared) -> io::Result<()> {
         // request may have touched is request-local, so no shared state is
         // left inconsistent.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_request(&frame, &tenant, shared, &mut stream)
+            handle_request(&frame, &tenant, shared, &mut framed)
         }));
         match outcome {
             Ok(Ok(ControlFlow::Continue)) => {}
@@ -335,7 +418,7 @@ fn handle_connection(mut stream: Stream, shared: &Shared) -> io::Result<()> {
                 let msg = fault::payload_str(payload.as_ref())
                     .unwrap_or("non-string panic payload")
                     .to_string();
-                send(&mut stream, &Response::Error(WireError::Panic(msg)))?;
+                send(&mut framed, &Response::Error(WireError::Panic(msg)))?;
             }
         }
     }
@@ -350,7 +433,7 @@ fn handle_request(
     frame: &[u8],
     tenant: &str,
     shared: &Shared,
-    stream: &mut Stream,
+    stream: &mut FramedStream,
 ) -> io::Result<ControlFlow> {
     // The serve-layer fault site: a typed tamper treats this frame as
     // corrupt. The frame is already consumed, so the error is a value and
@@ -373,6 +456,18 @@ fn handle_request(
         return Ok(ControlFlow::Continue);
     };
     match req {
+        Request::Hello { version, .. } if version == PROTOCOL_VERSION => {
+            // Idempotent re-ack: a client whose HelloOk was corrupted in
+            // flight re-sends Hello on the same connection and must be
+            // able to recover without reconnecting.
+            send(
+                stream,
+                &Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                },
+            )?;
+            Ok(ControlFlow::Continue)
+        }
         Request::Hello { .. } => {
             send(
                 stream,
@@ -400,6 +495,7 @@ fn handle_request(
                 return Ok(ControlFlow::Continue);
             }
             let before = memo_counters();
+            let net_before = net_counters();
             for (i, spec) in specs.iter().enumerate() {
                 let result = run_spec(shared, tenant, spec, false).map(|(r, _)| r);
                 send(
@@ -414,6 +510,7 @@ fn handle_request(
                 stream,
                 &Response::Done {
                     counters: counter_delta(before, memo_counters()),
+                    net: net_counters().since(&net_before),
                 },
             )?;
             Ok(ControlFlow::Continue)

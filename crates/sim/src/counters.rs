@@ -442,6 +442,109 @@ impl RowCounters {
     }
 }
 
+/// Process-wide transport-fault counters: what the `g80-serve` network
+/// layer survived. Mirrors [`RowCounters`]' shape — monotonically
+/// increasing process-wide totals, diffed by callers to attribute a
+/// window — and lives here (not in the serve crate) so [`crate::report`]
+/// can snapshot it into every [`crate::LaunchReport`] without a dependency
+/// cycle. The serve crate's transport layer is the only writer; an
+/// in-process-only simulation leaves every field at zero.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Connection losses observed mid-conversation (peer vanished, socket
+    /// error, or an injected disconnect/truncation), on either end.
+    pub disconnects: u64,
+    /// Request frames resent on a still-open connection after the peer
+    /// reported frame corruption (typed `BadFrame`) or a response frame
+    /// failed its CRC locally.
+    pub frames_retried: u64,
+    /// Payload bytes re-sent across all frame retries and reconnect
+    /// replays.
+    pub bytes_resent: u64,
+    /// Successful reconnect-and-replay cycles (a fresh connection plus a
+    /// replayed in-flight request after a disconnect).
+    pub reconnects: u64,
+}
+
+static NET_DISCONNECTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static NET_FRAMES_RETRIED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static NET_BYTES_RESENT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static NET_RECONNECTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Snapshot of the process-wide transport-fault counters.
+pub fn net_counters() -> NetCounters {
+    use std::sync::atomic::Ordering::Relaxed;
+    NetCounters {
+        disconnects: NET_DISCONNECTS.load(Relaxed),
+        frames_retried: NET_FRAMES_RETRIED.load(Relaxed),
+        bytes_resent: NET_BYTES_RESENT.load(Relaxed),
+        reconnects: NET_RECONNECTS.load(Relaxed),
+    }
+}
+
+/// Resets the process-wide transport-fault counters (tests/benchmarks).
+pub fn reset_net_counters() {
+    use std::sync::atomic::Ordering::Relaxed;
+    NET_DISCONNECTS.store(0, Relaxed);
+    NET_FRAMES_RETRIED.store(0, Relaxed);
+    NET_BYTES_RESENT.store(0, Relaxed);
+    NET_RECONNECTS.store(0, Relaxed);
+}
+
+/// Tallies one observed connection loss (serve transport layer).
+pub fn note_net_disconnect() {
+    NET_DISCONNECTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Tallies one same-connection frame retry of `payload_bytes` resent.
+pub fn note_net_frame_retried(payload_bytes: u64) {
+    use std::sync::atomic::Ordering::Relaxed;
+    NET_FRAMES_RETRIED.fetch_add(1, Relaxed);
+    NET_BYTES_RESENT.fetch_add(payload_bytes, Relaxed);
+}
+
+/// Tallies one reconnect-and-replay cycle of `payload_bytes` resent.
+pub fn note_net_reconnect(payload_bytes: u64) {
+    use std::sync::atomic::Ordering::Relaxed;
+    NET_RECONNECTS.fetch_add(1, Relaxed);
+    NET_BYTES_RESENT.fetch_add(payload_bytes, Relaxed);
+}
+
+impl NetCounters {
+    /// Component-wise saturating difference (`self - earlier`), for
+    /// attributing a window from two process-wide snapshots.
+    pub fn since(&self, earlier: &NetCounters) -> NetCounters {
+        NetCounters {
+            disconnects: self.disconnects.saturating_sub(earlier.disconnects),
+            frames_retried: self.frames_retried.saturating_sub(earlier.frames_retried),
+            bytes_resent: self.bytes_resent.saturating_sub(earlier.bytes_resent),
+            reconnects: self.reconnects.saturating_sub(earlier.reconnects),
+        }
+    }
+
+    /// Component-wise saturating sum — merges the client-observed and
+    /// daemon-reported deltas of one request. With an in-process daemon
+    /// the two ends share these process-wide counters, so daemon-noted
+    /// events can appear in both views; the sum is a monotone upper
+    /// bound, not an exact attribution.
+    pub fn saturating_add(&self, other: &NetCounters) -> NetCounters {
+        NetCounters {
+            disconnects: self.disconnects.saturating_add(other.disconnects),
+            frames_retried: self.frames_retried.saturating_add(other.frames_retried),
+            bytes_resent: self.bytes_resent.saturating_add(other.bytes_resent),
+            reconnects: self.reconnects.saturating_add(other.reconnects),
+        }
+    }
+
+    /// True when any fault was observed in this snapshot/delta.
+    pub fn any(&self) -> bool {
+        self.disconnects != 0
+            || self.frames_retried != 0
+            || self.bytes_resent != 0
+            || self.reconnects != 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,7 +73,11 @@ pub mod wire;
 mod witness;
 
 pub use config::GpuConfig;
-pub use counters::{reset_row_counters, row_counters, KernelStats, RowCounters, StallReason};
+pub use counters::{
+    net_counters, note_net_disconnect, note_net_frame_retried, note_net_reconnect,
+    reset_net_counters, reset_row_counters, row_counters, KernelStats, NetCounters, RowCounters,
+    StallReason,
+};
 pub use disk::{disk_cache_dir, set_disk_cache, set_disk_cache_cap};
 pub use error::{CudaError, SimError};
 pub use fault::{set_faults, set_watchdog_cycles, watchdog_cycles, FaultConfig, FaultKind, Site};

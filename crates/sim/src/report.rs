@@ -12,7 +12,7 @@
 //! cache heat its fleet (and every other tenant's) has built up.
 
 use crate::config::GpuConfig;
-use crate::counters::{row_counters, KernelStats, RowCounters};
+use crate::counters::{net_counters, row_counters, KernelStats, NetCounters, RowCounters};
 use crate::launch::{launch_traced, LaunchError};
 use crate::memo::{memo_counters, MemoCounters, Served};
 use crate::memory::DeviceMemory;
@@ -43,12 +43,18 @@ pub struct LaunchReport {
     /// shapes versus eager full-row evaluation. Like `counters`, a snapshot
     /// of totals — diff successive reports to attribute a single launch.
     pub rows: RowCounters,
+    /// Process-wide [`net_counters`] observed at completion: transport
+    /// faults the serving tier survived (disconnects, frame retries, bytes
+    /// re-sent, reconnect replays). All-zero for in-process launches. Like
+    /// `counters`, a snapshot of totals.
+    pub net: NetCounters,
 }
 
 /// Bumped on any change to [`LaunchReport::encode`]'s byte layout (which
 /// includes the embedded [`wire::encode_stats`] layout). Version 2 added
-/// the three row-shape counters after the memo counters.
-pub const REPORT_VERSION: u16 = 2;
+/// the three row-shape counters after the memo counters; version 3 added
+/// the four transport-fault counters after the row counters.
+pub const REPORT_VERSION: u16 = 3;
 
 fn served_to_u8(s: Served) -> u8 {
     match s {
@@ -83,6 +89,10 @@ impl LaunchReport {
         e.u64(self.rows.uniform);
         e.u64(self.rows.affine);
         e.u64(self.rows.full);
+        e.u64(self.net.disconnects);
+        e.u64(self.net.frames_retried);
+        e.u64(self.net.bytes_resent);
+        e.u64(self.net.reconnects);
         wire::encode_stats(e, &self.stats);
     }
 
@@ -115,12 +125,19 @@ impl LaunchReport {
             affine: d.u64()?,
             full: d.u64()?,
         };
+        let net = NetCounters {
+            disconnects: d.u64()?,
+            frames_retried: d.u64()?,
+            bytes_resent: d.u64()?,
+            reconnects: d.u64()?,
+        };
         let stats = wire::decode_stats(d)?;
         Some(LaunchReport {
             stats,
             served,
             counters,
             rows,
+            net,
         })
     }
 
@@ -149,6 +166,7 @@ pub fn launch_reported(
         served,
         counters: memo_counters(),
         rows: row_counters(),
+        net: net_counters(),
     })
 }
 
@@ -185,6 +203,12 @@ mod tests {
                 affine: 10,
                 full: 11,
             },
+            net: NetCounters {
+                disconnects: 12,
+                frames_retried: 13,
+                bytes_resent: 14,
+                reconnects: 15,
+            },
         }
     }
 
@@ -196,6 +220,7 @@ mod tests {
         assert_eq!(back.served, Served::Disk);
         assert_eq!(back.counters, r.counters);
         assert_eq!(back.rows, r.rows);
+        assert_eq!(back.net, r.net);
         assert_eq!(back.stats.cycles, r.stats.cycles);
         assert_eq!(back.stats.by_class, r.stats.by_class);
         assert_eq!(bytes, back.encode(), "canonical re-encoding");

@@ -109,6 +109,41 @@ impl<'a> Dec<'a> {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes` —
+/// the checksum the `g80-serve` framed protocol appends to every frame
+/// payload so a corrupted frame is detected before it reaches the strict
+/// decoders above (which would otherwise report corruption as `Malformed`
+/// only when a length field happens to go out of range). Table-driven,
+/// no dependencies; the 1 KiB table is built on first use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 fn stall_from_u8(v: u8) -> Option<StallReason> {
     use StallReason::*;
     Some(match v {
@@ -284,6 +319,22 @@ mod tests {
                 "decode must reject a {cut}-byte prefix"
             );
         }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check values for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        // Single-bit sensitivity: flipping any one bit changes the sum.
+        let base = crc32(b"g80-serve frame");
+        let mut buf = b"g80-serve frame".to_vec();
+        buf[3] ^= 0x01;
+        assert_ne!(crc32(&buf), base);
     }
 
     #[test]

@@ -10,15 +10,46 @@
 //! * disarmed, the same connection serves normally and the daemon drains
 //!   cleanly.
 //!
-//! One `#[test]`: the fault toggles are process-global.
+//! Plus the *network* chaos matrix (`G80_SERVE_NET_FAULTS` /
+//! [`g80::serve::set_net_faults`]): seeded transport faults on the wire
+//! itself —
+//!
+//! * a mid-stream disconnect during a streamed sweep is survived by
+//!   reconnect-and-replay, and `SweepResult::from_parts_with_net`
+//!   reassembles the same result the clean wire produced;
+//! * frame corruption at rate 1.0 yields typed errors (`BadFrame`, CRC
+//!   mismatches) on a bounded schedule — never a panic, never a hang —
+//!   and the same connection recovers bit-identically once disarmed;
+//! * a slow-loris client stalled mid-frame is reaped by the read
+//!   deadline, freeing its connection slot (and while it holds the only
+//!   slot, new tenants are shed with a typed `Overloaded`).
+//!
+//! Both fault layers are process-global toggles, so every test
+//! serializes on one lock.
 
 use g80::isa::builder::KernelBuilder;
 use g80::isa::Value;
 use g80::serve::{
-    serve, Addr, Client, Quota, Request, Response, ServeConfig, WireError, WireLaunch,
+    serve, set_net_faults, Addr, Client, NetFaultConfig, NetFaultKind, Quota, Request, Response,
+    ServeConfig, WireError, WireLaunch,
 };
 use g80::sim::fault::{self, FaultConfig, FaultKind, Site};
 use g80::sim::{set_faults, GpuConfig, LaunchDims};
+use g80::tune::tuner::{Sample, SweepResult};
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serializes every test in this binary: both fault layers are
+/// process-global, and the in-process daemon shares them.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_guard() -> std::sync::MutexGuard<'static, ()> {
+    let g = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    set_faults(None);
+    set_net_faults(None);
+    g
+}
 
 fn probe_spec(salt: u32) -> WireLaunch {
     let mut b = KernelBuilder::new("sc_probe");
@@ -44,11 +75,12 @@ fn probe_spec(salt: u32) -> WireLaunch {
 
 #[test]
 fn serve_decode_faults_are_typed_and_survivable() {
-    set_faults(None);
+    let _guard = chaos_guard();
     let server = serve(ServeConfig {
         addr: Addr::parse("tcp:127.0.0.1:0").unwrap(),
         quota: Quota::default(),
         gpu: GpuConfig::geforce_8800_gtx(),
+        ..ServeConfig::default()
     })
     .expect("bind daemon");
     let addr = server.local_addr().clone();
@@ -137,5 +169,208 @@ fn serve_decode_faults_are_typed_and_survivable() {
 
     let mut admin = Client::connect(&addr, "admin").expect("admin connect");
     admin.shutdown().expect("clean shutdown");
+    server.join().expect("drain");
+}
+
+fn default_daemon() -> (g80::serve::Server, Addr) {
+    let server = serve(ServeConfig {
+        addr: Addr::parse("tcp:127.0.0.1:0").unwrap(),
+        ..ServeConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = server.local_addr().clone();
+    (server, addr)
+}
+
+/// Mid-stream disconnects during a streamed sweep: the client must
+/// reconnect and replay until the whole stream lands, the reassembled
+/// `SweepResult` must match the clean wire bit-for-bit, and the fault
+/// tally must show the recovery actually happened (the schedule fired).
+#[test]
+fn mid_stream_disconnect_resumes_sweep_via_replay() {
+    let _guard = chaos_guard();
+    let (server, addr) = default_daemon();
+    let mut client = Client::connect(&addr, "sweeper").expect("connect");
+    let specs: Vec<WireLaunch> = (0..12u32).map(|i| probe_spec(100 + i)).collect();
+
+    // Golden: the clean wire.
+    let (golden_items, golden_counters, golden_net) = client
+        .sweep(&specs)
+        .expect("clean transport")
+        .expect("clean sweep");
+    assert!(
+        !golden_net.any(),
+        "clean wire reported transport faults: {golden_net:?}"
+    );
+    let to_samples = |items: &[Result<g80::sim::LaunchReport, WireError>]| -> Vec<Sample<u32>> {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Sample {
+                config: i as u32,
+                stats: r.as_ref().expect("item ok").stats.clone(),
+            })
+            .collect()
+    };
+    let golden = SweepResult::from_parts(to_samples(&golden_items), golden_counters);
+
+    // Armed: disconnect-only faults on every wire site. The seed/rate pair
+    // is fixed and was verified to fire at least one mid-stream disconnect
+    // against this deterministic schedule.
+    set_net_faults(Some(NetFaultConfig::only(
+        0xD15C_0441,
+        0.03,
+        NetFaultKind::Disconnect,
+    )));
+    let (items, counters, net) = client
+        .sweep(&specs)
+        .expect("recovery must absorb disconnects")
+        .expect("typed error under chaos");
+    set_net_faults(None);
+
+    assert!(
+        net.reconnects >= 1,
+        "the fault schedule never forced a reconnect — pick a hotter seed: {net:?}"
+    );
+    let chaos = SweepResult::from_parts_with_net(to_samples(&items), counters, net);
+    assert_eq!(chaos.samples.len(), golden.samples.len());
+    assert_eq!(chaos.best, golden.best, "replay changed the sweep winner");
+    for (i, (c, g)) in chaos.samples.iter().zip(&golden.samples).enumerate() {
+        assert_eq!(c.stats.cycles, g.stats.cycles, "item {i}");
+        assert_eq!(
+            c.stats.warp_instructions, g.stats.warp_instructions,
+            "item {i}"
+        );
+        assert_eq!(c.stats.global_bytes, g.stats.global_bytes, "item {i}");
+    }
+    assert!(chaos.net.reconnects >= 1);
+
+    let mut admin = Client::connect(&addr, "admin").expect("admin connect");
+    admin.shutdown().expect("clean shutdown");
+    server.join().expect("drain");
+}
+
+/// Corruption at rate 1.0 — every frame in every direction gets a bit
+/// flipped. Nothing decodes garbled: each exchange terminates promptly
+/// with a typed `BadFrame` or a CRC-mismatch error, the connection never
+/// desynchronizes, and once disarmed the SAME connection serves
+/// bit-identically.
+#[test]
+fn corrupt_storm_is_typed_bounded_and_recoverable() {
+    let _guard = chaos_guard();
+    let (server, addr) = default_daemon();
+    let mut client = Client::connect(&addr, "storm").expect("connect");
+    client.set_retry_injected(false);
+    let spec = probe_spec(77);
+    let req = Request::Launch(spec.clone());
+    let (golden, golden_delta) = match client.request_raw(&req).expect("transport") {
+        Response::Launch { result } => result.expect("clean launch"),
+        other => panic!("unexpected response {other:?}"),
+    };
+
+    set_net_faults(Some(NetFaultConfig::only(
+        0xBADC_0DE5,
+        1.0,
+        NetFaultKind::Corrupt,
+    )));
+    for i in 0..4 {
+        let t0 = Instant::now();
+        match client.request_raw(&req) {
+            // Our request was caught by the daemon's CRC and answered with
+            // a typed BadFrame that happened to survive the return trip.
+            Ok(Response::Error(WireError::BadFrame(_))) => {}
+            Ok(other) => panic!("corrupt frame decoded to {other:?} (iter {i})"),
+            // The response frame was corrupted on its way back.
+            Err(e) => assert!(
+                g80::serve::is_crc_mismatch(&e),
+                "expected a CRC mismatch, got {e:?} (iter {i})"
+            ),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "a corrupt exchange must fail fast, took {:?}",
+            t0.elapsed()
+        );
+    }
+    // The recovering path gives up with an error after bounded retries —
+    // it must not spin forever against a wire that corrupts everything.
+    let t0 = Instant::now();
+    let recovered = client.launch(&spec);
+    assert!(
+        matches!(&recovered, Ok(Err(_)) | Err(_)),
+        "launch succeeded through rate-1.0 corruption: {recovered:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "bounded retries took {:?}",
+        t0.elapsed()
+    );
+
+    // Disarmed: the same connection is still synchronized.
+    set_net_faults(None);
+    let (report, delta) = client
+        .launch(&spec)
+        .expect("transport after storm")
+        .expect("launch after storm");
+    assert_eq!(report.stats.cycles, golden.stats.cycles);
+    assert_eq!(
+        report.stats.warp_instructions,
+        golden.stats.warp_instructions
+    );
+    assert_eq!(delta, golden_delta);
+
+    let mut admin = Client::connect(&addr, "admin").expect("admin connect");
+    admin.shutdown().expect("clean shutdown");
+    server.join().expect("drain");
+}
+
+/// A slow-loris tenant — two header bytes, then silence — must be reaped
+/// by the mid-frame deadline, and its connection slot handed to the next
+/// tenant. While it squats on the only slot, new connections get a typed
+/// `Overloaded` shed, not a hang.
+#[test]
+fn slow_client_is_reaped_and_slot_freed() {
+    let _guard = chaos_guard();
+    let server = serve(ServeConfig {
+        addr: Addr::parse("tcp:127.0.0.1:0").unwrap(),
+        read_timeout: Some(Duration::from_millis(400)),
+        max_conns: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = server.local_addr().clone();
+
+    // The slow-loris: starts a frame, never finishes it.
+    let mut loris = g80::serve::net::connect(&addr).expect("loris connect");
+    loris.write_all(&[0x10, 0x00]).expect("partial header");
+    loris.flush().expect("flush");
+    // Let the accept loop claim the only slot for the loris.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Second tenant while the slot is squatted: typed shed, fast failure.
+    let shed_attempt = Client::connect(&addr, "tenant-2");
+    assert!(
+        shed_attempt.is_err(),
+        "connect must fail while the only slot is held"
+    );
+    assert!(server.shed() >= 1, "the refusal was not a counted shed");
+
+    // The mid-frame deadline reaps the loris...
+    let t0 = Instant::now();
+    while server.reaped() == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "slow-loris was never reaped"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // ...and the freed slot serves the next tenant normally.
+    let mut c2 =
+        Client::connect_retry(&addr, "tenant-2", Duration::from_secs(10)).expect("slot freed");
+    c2.launch(&probe_spec(9))
+        .expect("transport")
+        .expect("launch");
+    drop(loris);
+    c2.shutdown().expect("clean shutdown");
     server.join().expect("drain");
 }

@@ -84,6 +84,7 @@ fn start_daemon(quota: Quota) -> (g80::serve::Server, Addr) {
         addr: Addr::parse("tcp:127.0.0.1:0").unwrap(),
         quota,
         gpu: GpuConfig::geforce_8800_gtx(),
+        ..ServeConfig::default()
     };
     let server = serve(cfg).expect("bind daemon");
     let addr = server.local_addr().clone();
@@ -137,7 +138,7 @@ fn eight_tenants_get_bit_identical_stats() {
                 let specs: Vec<_> = (0..3u32)
                     .map(|i| scale_spec("sd_batch", 3 + t, t << 8 | 0x1000 | i, 256))
                     .collect();
-                let (items, _counters) = client
+                let (items, _counters, _net) = client
                     .batch(&specs)
                     .expect("transport")
                     .expect("typed error");
